@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the reproduced artefact next to the paper's reference numbers, and asserts
+the *shape* (who wins, by roughly what factor).  The scenarios are
+deterministic end-to-end simulations, so each runs exactly once
+(``rounds=1``): the pytest-benchmark timing then reports the cost of
+regenerating the artefact.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a scenario exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def print_artifact(title: str, body: str) -> None:
+    print(f"\n===== {title} =====")
+    print(body)

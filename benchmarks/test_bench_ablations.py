@@ -1,0 +1,120 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not paper artefacts; they quantify what each design decision of
+the selective-retuning pipeline buys.
+"""
+
+from conftest import print_artifact
+
+from repro.analysis.report import Table
+from repro.experiments.ablations import (
+    run_coarse_vs_fine,
+    run_mrc_window_sensitivity,
+    run_quota_vs_reschedule,
+    run_routing_policies,
+    run_topk_vs_outliers,
+)
+
+
+def _policy_table(title, outcomes, latency_label="recovered latency (s)"):
+    table = Table(
+        title=title,
+        headers=["policy", latency_label, "servers", "replicas"],
+    )
+    for outcome in outcomes:
+        table.add_row(
+            outcome.policy,
+            f"{outcome.recovered_latency:.3f}",
+            outcome.servers_used,
+            outcome.replicas_used,
+        )
+    return table
+
+
+def test_ablation_quota_vs_reschedule(once):
+    """Paper §3.3.2 trade-off: the quota matches rescheduling's victim
+    recovery at half the machine count."""
+    outcomes = once(run_quota_vs_reschedule)
+    print_artifact(
+        "Ablation — quota vs reschedule (index-drop scenario)",
+        _policy_table(
+            "victim (non-BestSeller) latency after the action",
+            outcomes,
+            latency_label="victim latency (s)",
+        ).render(),
+    )
+    quota, reschedule = outcomes
+    assert quota.recovered_latency < 1.0
+    assert reschedule.recovered_latency < 1.0
+    assert quota.servers_used < reschedule.servers_used
+
+
+def test_ablation_coarse_vs_fine(once):
+    """The coarse-only baseline needs more machines for the same incident."""
+    outcomes = once(run_coarse_vs_fine)
+    print_artifact(
+        "Ablation — fine-grained vs coarse-only (memory-contention scenario)",
+        _policy_table("TPC-W latency after reactions settle", outcomes).render(),
+    )
+    fine, coarse = outcomes
+    assert fine.recovered_latency < 1.0
+    assert fine.replicas_used <= coarse.replicas_used
+    assert fine.servers_used <= coarse.servers_used
+
+
+def test_ablation_topk_vs_outliers(once):
+    """Outlier detection focuses the expensive MRC analysis: disabling it
+    reaches a similar end state but recomputes more curves."""
+    outcomes = once(run_topk_vs_outliers)
+    table = Table(
+        title="candidate-selection policies",
+        headers=["policy", "recovered latency (s)", "MRC recomputations"],
+    )
+    for outcome in outcomes:
+        table.add_row(
+            outcome.policy,
+            f"{outcome.recovered_latency:.3f}",
+            outcome.mrc_recomputations,
+        )
+    print_artifact("Ablation — outlier-guided vs top-k", table.render())
+    guided, topk = outcomes
+    assert guided.recovered_latency < 1.2
+    assert topk.recovered_latency < 1.2
+    assert guided.mrc_recomputations <= topk.mrc_recomputations
+
+
+def test_ablation_routing_policies(once):
+    """Load-aware read routing drains traffic off a noisy-neighbour host."""
+    outcomes = once(run_routing_policies)
+    table = Table(
+        title="read routing with a noisy neighbour on one host",
+        headers=["policy", "mean latency (s)", "quiet-host read share"],
+    )
+    for outcome in outcomes:
+        table.add_row(
+            outcome.policy,
+            f"{outcome.recovered_latency:.3f}",
+            f"{outcome.details['quiet_share']:.0%}",
+        )
+    print_artifact("Ablation — read-routing policies", table.render())
+    round_robin, least_loaded = outcomes
+    assert least_loaded.recovered_latency < round_robin.recovered_latency
+    assert least_loaded.details["quiet_share"] > 0.6
+    assert abs(round_robin.details["quiet_share"] - 0.5) < 0.1
+
+
+def test_ablation_mrc_window(once):
+    """Short windows are cold-dominated and underestimate memory needs."""
+    estimates = once(run_mrc_window_sensitivity)
+    table = Table(
+        title="BestSeller acceptable memory vs window length",
+        headers=["window (accesses)", "acceptable memory (pages)"],
+    )
+    for length in sorted(estimates):
+        table.add_row(length, estimates[length])
+    print_artifact("Ablation — MRC window sensitivity", table.render())
+    lengths = sorted(estimates)
+    # Estimates grow (weakly) with window coverage and converge near the
+    # true working-set knee.
+    assert estimates[lengths[0]] <= estimates[lengths[-1]]
+    assert estimates[lengths[-1]] >= 4000

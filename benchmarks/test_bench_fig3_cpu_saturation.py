@@ -1,0 +1,51 @@
+"""Figure 3: alleviation of CPU saturation under a sinusoid load.
+
+Paper reference: Fig. 3(a) sine client load; Fig. 3(b) machine allocation
+steps up with the load; Fig. 3(c) average query latency returns below the
+1 s SLA after provisioning.
+"""
+
+from conftest import print_artifact
+
+from repro.analysis.report import format_series
+from repro.experiments.cpu_saturation import CPUSaturationConfig, run_cpu_saturation
+
+
+def test_fig3_cpu_saturation(once):
+    result = once(run_cpu_saturation, CPUSaturationConfig())
+
+    print_artifact(
+        "Figure 3(a) — sine client load",
+        format_series(
+            "clients over time",
+            [(t, float(c)) for t, c in result.load_series],
+            x_label="t (s)",
+            y_label="clients",
+        ),
+    )
+    print_artifact(
+        "Figure 3(b) — machine allocation",
+        format_series(
+            "replicas over time",
+            [(t, float(a)) for t, a in result.allocation_series],
+            x_label="t (s)",
+            y_label="replicas",
+        ),
+    )
+    print_artifact(
+        "Figure 3(c) — average query latency (SLA = 1 s)",
+        format_series(
+            "latency over time",
+            result.latency_series,
+            x_label="t (s)",
+            y_label="latency (s)",
+        ),
+    )
+
+    # Shape assertions (paper: allocation tracks the sine; latency recovers).
+    assert result.peak_replicas >= 2
+    allocations = [a for _, a in result.allocation_series]
+    assert min(allocations[allocations.index(max(allocations)) :]) < max(allocations)
+    latencies = [l for _, l in result.latency_series]
+    first_violation = next(i for i, l in enumerate(latencies) if l > 1.0)
+    assert any(l <= 1.0 for l in latencies[first_violation + 1 :])

@@ -1,0 +1,38 @@
+"""Figure 6: miss-ratio curve of RUBiS SearchItemsByRegion.
+
+Paper reference: the curve declines almost linearly out to ~7906 pages of
+acceptable memory — nearly the whole 8192-page buffer pool, which is why
+the class cannot be co-located with TPC-W (whose BestSeller alone needs
+~7000 pages).
+"""
+
+from conftest import print_artifact
+
+from repro.experiments.mrc_curves import (
+    run_fig5_bestseller,
+    run_fig6_search_items_by_region,
+)
+
+PAPER = {"acceptable": 7906, "pool": 8192}
+
+
+def test_fig6_mrc_rubis(once):
+    result = once(run_fig6_search_items_by_region, 200)
+
+    print_artifact(
+        "Figure 6 — SearchItemsByRegion MRC", result.to_table().render()
+    )
+    print_artifact(
+        "Figure 6 — parameters (paper vs measured)",
+        f"acceptable memory: paper {PAPER['acceptable']}  "
+        f"measured {result.params.acceptable_memory} (pool {PAPER['pool']})",
+    )
+
+    # Shape: the knee sits near the pool size...
+    assert 6500 <= result.params.acceptable_memory <= 8192
+    # ...which makes co-location with BestSeller infeasible (the §5.4 core).
+    best_seller = run_fig5_bestseller(executions=200)
+    assert (
+        result.params.acceptable_memory + best_seller.params.acceptable_memory
+        > PAPER["pool"]
+    )

@@ -1,0 +1,40 @@
+"""Lock-contention anomaly detection — the paper's §7 future work, built.
+
+Not a paper artefact: the paper only *names* "invoking a query with the
+wrong arguments, lock contention or deadlock situations" as the next target
+for outlier detection.  This bench runs that scenario: an unqualified
+AdminUpdate X-locks the whole item table per execution; the diagnosis
+attributes the violation to lock waits and names the aggressor class via
+the waits-for graph.
+"""
+
+from conftest import print_artifact
+
+from repro.experiments.lock_contention import (
+    LockContentionConfig,
+    run_lock_contention,
+)
+
+
+def test_lock_contention(once):
+    result = once(run_lock_contention, LockContentionConfig())
+
+    print_artifact(
+        "Lock contention — wrong-arguments fault",
+        "\n".join(
+            [
+                f"baseline latency:        {result.latency_before:.2f} s "
+                f"(lock-wait share {result.baseline_lock_wait_share:.1%})",
+                f"during fault:            {result.latency_during:.2f} s "
+                f"(lock-wait share {result.lock_wait_share:.1%})",
+                f"reported aggressor:      {result.reported_aggressor}",
+                f"victim lock-wait time:   {result.victim_wait_time:.1f} s/interval",
+                f"report: {result.reports[0].reason if result.reports else '-'}",
+            ]
+        ),
+    )
+
+    assert result.latency_before < 1.0 < result.latency_during
+    assert result.baseline_lock_wait_share < 0.05
+    assert result.lock_wait_share > 0.5
+    assert result.reported_aggressor == "tpcw/admin_update"

@@ -1,0 +1,79 @@
+"""Parameter sweep: where does co-location become feasible?
+
+Table 2's conclusion ("SearchItemsByRegion cannot be co-located with
+TPC-W in a shared 8192-page buffer pool") is a function of the pool size.
+This sweep runs the paper's quota feasibility check at a range of pool
+sizes and finds the crossover: below it the class must be rescheduled,
+above it a quota keeps everything co-located.
+"""
+
+import numpy as np
+
+from conftest import print_artifact
+
+from repro.analysis.report import Table
+from repro.core.mrc import MissRatioCurve
+from repro.core.quota import find_quotas
+from repro.experiments.mrc_curves import trace_of_class
+from repro.workloads.rubis import SEARCH_ITEMS_BY_REGION, build_rubis
+from repro.workloads.tpcw import build_tpcw
+
+POOL_SIZES = (4096, 8192, 12288, 16384, 24576, 32768)
+
+
+def test_sweep_pool_size(once):
+    def sweep():
+        tpcw = build_tpcw(seed=7)
+        rubis = build_rubis(seed=11)
+        sibr_trace = trace_of_class(
+            rubis.class_named(SEARCH_ITEMS_BY_REGION), executions=150
+        )
+        sibr_curve = MissRatioCurve.from_trace(sibr_trace)
+        tpcw_curves = {}
+        for query_class in tpcw.classes():
+            executions = 250 if query_class.name != "best_seller" else 120
+            trace = trace_of_class(query_class, executions=executions)
+            tpcw_curves[query_class.name] = MissRatioCurve.from_trace(trace)
+        rows = []
+        for pool in POOL_SIZES:
+            problem = {"sibr": sibr_curve.parameters(pool)}
+            others = {
+                name: curve.parameters(pool)
+                for name, curve in tpcw_curves.items()
+            }
+            plan = find_quotas(problem, others, pool, min_quota=256)
+            rows.append(
+                (
+                    pool,
+                    problem["sibr"].acceptable_memory,
+                    sum(p.acceptable_memory for p in others.values()),
+                    plan.feasible,
+                    plan.quotas.get("sibr", 0),
+                )
+            )
+        return rows
+
+    rows = once(sweep)
+
+    table = Table(
+        title="quota feasibility of co-locating SearchItemsByRegion with TPC-W",
+        headers=[
+            "pool (pages)",
+            "SIBR acceptable",
+            "TPC-W acceptable sum",
+            "quota feasible",
+            "SIBR quota",
+        ],
+    )
+    for pool, sibr_acc, others_acc, feasible, quota in rows:
+        table.add_row(pool, sibr_acc, others_acc, feasible, quota)
+    print_artifact("Sweep — pool size vs co-location feasibility", table.render())
+
+    by_pool = {pool: feasible for pool, _, _, feasible, _ in rows}
+    # The paper's operating point: infeasible at 8192 pages...
+    assert not by_pool[8192]
+    # ...and the crossover exists: a big enough pool makes the quota work.
+    assert by_pool[max(POOL_SIZES)]
+    # Feasibility is monotone in the pool size across the sweep.
+    flags = [feasible for _, _, _, feasible, _ in rows]
+    assert flags == sorted(flags)

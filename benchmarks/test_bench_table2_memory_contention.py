@@ -1,0 +1,46 @@
+"""Table 2: memory contention in a shared buffer pool.
+
+Paper reference (TPC-W latency / throughput):
+    TPC-W / IDLE        0.54 s /  8.73 WIPS
+    TPC-W / RUBiS       5.42 s /  4.29 WIPS   (10x latency, half the WIPS)
+    TPC-W / RUBiS-1     1.27 s /  6.44 WIPS   (SearchItemsByRegion moved)
+Shape: co-locating RUBiS collapses TPC-W; moving the single
+SearchItemsByRegion query class to another replica restores it.
+"""
+
+from conftest import print_artifact
+
+from repro.core.diagnosis import ActionKind
+from repro.experiments.memory_contention import (
+    MemoryContentionConfig,
+    run_memory_contention,
+)
+
+PAPER_ROWS = """paper reference:
+placement                               latency (s)  throughput (WIPS)
+TPC-W / IDLE                            0.54         8.73
+TPC-W / RUBiS (shared pool)             5.42         4.29
+TPC-W / RUBiS w/o SearchItemsByRegion   1.27         6.44"""
+
+
+def test_table2_memory_contention(once):
+    result = once(run_memory_contention, MemoryContentionConfig())
+
+    print_artifact("Table 2 — measured", result.to_table().render())
+    print_artifact("Table 2 — paper", PAPER_ROWS)
+    print_artifact(
+        "Table 2 — diagnosis",
+        f"rescheduled context: {result.rescheduled_context}\n"
+        f"actions: {[a.kind.value for a in result.actions]}",
+    )
+
+    baseline, contended, recovered = result.rows
+    # Shape: the blow-up, the right victim class, the recovery.
+    assert contended.latency > 5.0 * baseline.latency
+    assert contended.throughput < 0.75 * baseline.throughput
+    assert recovered.latency < contended.latency / 2
+    assert recovered.throughput > 0.8 * baseline.throughput
+    assert result.rescheduled_context == "rubis/search_items_by_region"
+    assert any(
+        a.kind is ActionKind.RESCHEDULE_CLASS for a in result.actions
+    )

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Index mis-configuration: the paper's §5.3 scenario, step by step.
+
+TPC-W runs alone until the system reaches stable state.  The ``O_DATE``
+index — used only by the BestSeller query — is then dropped, degenerating
+BestSeller's plan into read-ahead-heavy partial scans that flood the shared
+buffer pool and violate the 1 s SLA.
+
+The script walks the full selective-retuning pipeline and narrates every
+stage: the Figure 4 metric ratios, the outlier contexts, the recomputed
+miss-ratio curve, and the quota the system enforces.
+
+Run:  python examples/index_misconfiguration.py
+"""
+
+from repro.experiments.index_drop import IndexDropConfig, run_index_drop
+
+
+def main() -> None:
+    print("Running the index-drop scenario (TPC-W, 60 clients)...\n")
+    result = run_index_drop(IndexDropConfig(clients=60))
+
+    print("1. Stable state")
+    print(f"   baseline mean latency: {result.latency_before:.2f} s (SLA: 1 s)")
+    if result.mrc_before:
+        print(
+            "   BestSeller MRC: acceptable memory "
+            f"{result.mrc_before.acceptable_memory} pages, "
+            f"ideal miss ratio {result.mrc_before.ideal_miss_ratio:.2f}"
+        )
+
+    print("\n2. O_DATE dropped -> SLA violation")
+    print(f"   peak mean latency: {result.latency_violation:.2f} s")
+
+    print("\n3. Outlier context detection (Figure 4)")
+    for metric in ("latency", "misses", "readaheads"):
+        panel = result.ratios.get(metric, {})
+        top = sorted(panel.items(), key=lambda kv: -kv[1])[:3]
+        formatted = ", ".join(f"q{qid}: {ratio:.1f}x" for qid, ratio in top)
+        print(f"   {metric:10s} top ratios: {formatted}")
+    print(f"   outlier contexts: {result.outlier_contexts}")
+
+    print("\n4. MRC recomputation for the problem class")
+    if result.mrc_after:
+        print(
+            "   degraded BestSeller MRC: acceptable memory "
+            f"{result.mrc_after.acceptable_memory} pages, "
+            f"ideal miss ratio {result.mrc_after.ideal_miss_ratio:.2f} "
+            "(a much flatter curve: caching no longer absorbs the plan)"
+        )
+
+    print("\n5. Reaction")
+    for action in result.actions:
+        quotas = action.quota_map()
+        if quotas:
+            for context, pages in quotas.items():
+                print(
+                    f"   {action.kind.value}: {context} pinned to a "
+                    f"{pages}-page buffer-pool partition (paper: 3695)"
+                )
+        else:
+            print(f"   {action.kind.value}: {action.reason}")
+
+    print("\n6. Outcome")
+    print(f"   mean latency after retuning: {result.latency_after:.2f} s")
+    improvement = result.latency_violation / max(result.latency_after, 1e-9)
+    print(f"   improvement over the violation peak: {improvement:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

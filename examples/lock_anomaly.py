@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The paper's future work, running: lock-contention anomaly detection.
+
+The paper's conclusion names "invoking a query with the wrong arguments,
+lock contention or deadlock situations" as the next anomalies outlier
+detection should narrow down.  This example injects exactly that fault —
+an AdminUpdate that lost its WHERE clause, scanning the item table and
+X-locking every item row group for seconds at a time — and shows the
+pipeline attributing the SLA violation to lock waits and naming the
+aggressor class via the waits-for graph.
+
+Run:  python examples/lock_anomaly.py
+"""
+
+from repro.experiments.lock_contention import (
+    LockContentionConfig,
+    run_lock_contention,
+)
+
+
+def main() -> None:
+    print("Running the wrong-arguments scenario (TPC-W, 50 clients)...\n")
+    result = run_lock_contention(LockContentionConfig())
+
+    print("1. Stable state")
+    print(f"   mean latency: {result.latency_before:.2f} s; "
+          f"lock waits are {result.baseline_lock_wait_share:.1%} of app time")
+
+    print("\n2. AdminUpdate loses its WHERE clause")
+    print("   every execution now scans the item table and X-locks all of it")
+    print(f"   mean latency: {result.latency_during:.2f} s (SLA: 1 s)")
+    print(f"   lock waits now {result.lock_wait_share:.1%} of app time — "
+          "yet the victims' buffer-pool counters look ordinary")
+
+    print("\n3. Diagnosis")
+    if result.reports:
+        print(f"   {result.reports[0].reason}")
+    print(f"\n   => aggressor: {result.reported_aggressor}")
+    print(
+        "   (no resource to retune: writes run on every replica under "
+        "read-one-write-all,\n    so the pipeline reports the offending "
+        "class for the operator to fix)"
+    )
+
+
+if __name__ == "__main__":
+    main()

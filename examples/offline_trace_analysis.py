@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Off-line trace analysis, the way the paper's prototype does it.
+
+"Other aspects of our prototype are automated only through off-line trace
+analysis ... These include determination of MRC curves for query classes."
+This example runs that workflow end to end:
+
+1. drive a live TPC-W cluster and *capture* every query class's recent
+   page-access window to a compressed trace archive,
+2. reload the archive in a separate "analysis" step,
+3. compute exact and SHARDS-sampled miss-ratio curves per class, and
+4. export the derived memory parameters as JSON.
+
+Run:  python examples/offline_trace_analysis.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import ClusterHarness, build_tpcw
+from repro.analysis.export import export_result
+from repro.analysis.tracefile import load_traces, save_traces, trace_summary
+from repro.core.mrc import MissRatioCurve
+from repro.core.mrc_sampling import sampled_mrc
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+    archive = workdir / "tpcw-windows.npz"
+
+    # --- 1. capture ----------------------------------------------------- #
+    print("driving a TPC-W cluster for 8 intervals...")
+    workload = build_tpcw(seed=7)
+    harness = ClusterHarness.single_app(workload, servers=2, clients=30)
+    harness.run(intervals=8)
+    engine = harness.replicas_of(workload.app)[0].engine
+    windows = {
+        key: engine.log.window_for(key).snapshot()
+        for key in engine.log.context_keys()
+        if engine.log.has_window(key)
+    }
+    save_traces(archive, windows)
+    print(f"captured {len(windows)} class windows -> {archive}")
+
+    # --- 2. reload ------------------------------------------------------ #
+    traces = load_traces(archive)
+    for key, info in sorted(trace_summary(traces).items()):
+        print(f"  {key:28s} {info['accesses']:7d} accesses, "
+              f"{info['distinct_pages']:6d} distinct pages")
+
+    # --- 3. analyse ------------------------------------------------------ #
+    print("\nper-class MRC parameters (pool = 8192 pages):")
+    parameters = {}
+    for key, trace in sorted(traces.items()):
+        if len(trace) < 500:
+            continue
+        t0 = time.perf_counter()
+        exact = MissRatioCurve.from_trace(trace).parameters(8192)
+        exact_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        approx_curve, stats = sampled_mrc(trace, rate=0.2, seed=1)
+        approx = approx_curve.parameters(8192)
+        approx_s = time.perf_counter() - t0
+        parameters[key] = exact
+        print(
+            f"  {key:28s} acceptable {exact.acceptable_memory:5d} pages "
+            f"(exact, {exact_s*1e3:5.0f} ms) ~ {approx.acceptable_memory:5d} "
+            f"(sampled 20%, {approx_s*1e3:4.0f} ms)"
+        )
+
+    # --- 4. export ------------------------------------------------------- #
+    out = export_result(workdir / "mrc-parameters.json", parameters)
+    print(f"\nexported parameters -> {out}")
+    total = sum(p.acceptable_memory for p in parameters.values())
+    print(f"sum of acceptable memory across classes: {total} pages "
+          f"({'fits' if total < 8192 else 'exceeds'} the 8192-page pool)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Xen dom0 I/O contention: VMs isolate memory and CPU, but not the disk.
+
+The paper's §5.5 scenario: two independent RUBiS instances run in two VM
+domains on one Xen host.  Every guest block request is serviced by dom0,
+so when both instances are active the shared channel saturates — latency
+triples, throughput collapses — even though neither VM is short of CPU or
+memory.
+
+The §3.3.3 heuristic removes query contexts from the host in decreasing
+order of I/O rate.  SearchItemsByRegion alone contributes ~87 % of the I/O,
+so moving that single class restores near-baseline performance; migrating
+a whole VM would have been wild overkill.
+
+Run:  python examples/virtualized_io_contention.py
+"""
+
+from repro.experiments.io_contention import IOContentionConfig, run_io_contention
+
+
+def main() -> None:
+    print("Running the two-domain Xen scenario (RUBiS x 2)...\n")
+    result = run_io_contention(IOContentionConfig(clients_per_instance=150))
+
+    print(result.to_table().render())
+
+    print("\nPaper reference (Table 3):")
+    print("  RUBiS / IDLE      1.5 s / 97 WIPS")
+    print("  RUBiS / RUBiS     4.8 s / 30 WIPS")
+    print("  RUBiS / RUBiS-1   1.5 s / 95 WIPS")
+
+    print("\nI/O attribution:")
+    print(
+        f"  heaviest context: {result.heaviest_io_context} with "
+        f"{result.heaviest_io_share:.0%} of the instance's I/O (paper: 87%)"
+    )
+
+    print("\nReactions:")
+    for action in result.actions:
+        print(f"  {action.kind.value} [{action.app}]: {action.reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Result analysis helpers: tables, series, latency, traces, export."""
+
+from .export import export_result, to_jsonable
+from .incidents import Incident, extract_incidents, render_incident_report
+from .latency import LatencyAggregate, summarize_latencies
+from .report import Table, format_series, format_table
+from .tracefile import load_traces, save_traces, trace_summary
+
+__all__ = [
+    "Incident",
+    "LatencyAggregate",
+    "Table",
+    "export_result",
+    "extract_incidents",
+    "render_incident_report",
+    "format_series",
+    "format_table",
+    "load_traces",
+    "save_traces",
+    "summarize_latencies",
+    "to_jsonable",
+    "trace_summary",
+]

@@ -1,0 +1,93 @@
+"""Incident reports: a human-readable narrative of a controller run.
+
+The controller records per-interval SLA accounting and every action it
+took; this module folds that history into *incidents* — maximal runs of
+consecutive SLA violations per application — each with its duration, the
+worst latency observed, and the actions taken, rendered as an operator-
+facing report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.controller import AppIntervalReport, ClusterController
+from ..core.diagnosis import Action
+
+__all__ = ["Incident", "extract_incidents", "render_incident_report"]
+
+
+@dataclass
+class Incident:
+    """One maximal run of consecutive SLA violations for one application."""
+
+    app: str
+    start_interval: int
+    end_interval: int
+    worst_latency: float = 0.0
+    actions: list[Action] = field(default_factory=list)
+    resolved: bool = False
+
+    @property
+    def duration_intervals(self) -> int:
+        return self.end_interval - self.start_interval + 1
+
+    @property
+    def action_kinds(self) -> list[str]:
+        return [action.kind.value for action in self.actions]
+
+
+def extract_incidents(
+    reports: list[AppIntervalReport], app: str
+) -> list[Incident]:
+    """Group an application's violating intervals into incidents."""
+    incidents: list[Incident] = []
+    current: Incident | None = None
+    for report in reports:
+        if report.app != app:
+            continue
+        violating = not report.sla_met and report.throughput > 0
+        if violating:
+            if current is None:
+                current = Incident(
+                    app=app,
+                    start_interval=report.interval_index,
+                    end_interval=report.interval_index,
+                )
+                incidents.append(current)
+            current.end_interval = report.interval_index
+            current.worst_latency = max(current.worst_latency, report.mean_latency)
+            current.actions.extend(report.actions)
+        else:
+            if current is not None:
+                current.resolved = True
+            current = None
+    return incidents
+
+
+def render_incident_report(controller: ClusterController) -> str:
+    """An operator-facing plain-text report over a whole controller run."""
+    lines: list[str] = ["Incident report", "=" * 15]
+    any_incident = False
+    for app in sorted(controller.schedulers):
+        incidents = extract_incidents(controller.reports, app)
+        if not incidents:
+            continue
+        any_incident = True
+        lines.append(f"\napplication: {app}")
+        for number, incident in enumerate(incidents, start=1):
+            status = "resolved" if incident.resolved else "ONGOING"
+            lines.append(
+                f"  incident {number}: intervals "
+                f"{incident.start_interval}..{incident.end_interval} "
+                f"({incident.duration_intervals} intervals, {status}); "
+                f"worst mean latency {incident.worst_latency:.2f} s"
+            )
+            if incident.actions:
+                for action in incident.actions:
+                    lines.append(f"    - {action.kind.value}: {action.reason}")
+            else:
+                lines.append("    - no actions (startup or action grace)")
+    if not any_incident:
+        lines.append("\nno SLA incidents recorded")
+    return "\n".join(lines)

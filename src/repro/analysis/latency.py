@@ -1,0 +1,54 @@
+"""Latency aggregation helpers."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["LatencyAggregate", "summarize_latencies"]
+
+
+@dataclass(frozen=True)
+class LatencyAggregate:
+    """Summary statistics of a latency sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def exceeds(self, sla: float) -> bool:
+        return self.mean > sla
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile over a pre-sorted sample."""
+    if not ordered:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def summarize_latencies(latencies: Sequence[float]) -> LatencyAggregate:
+    """Build a :class:`LatencyAggregate` from raw per-query latencies."""
+    if not latencies:
+        return LatencyAggregate(count=0, mean=0.0, p50=0.0, p95=0.0, maximum=0.0)
+    ordered = sorted(latencies)
+    return LatencyAggregate(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+        maximum=ordered[-1],
+    )

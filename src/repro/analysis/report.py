@@ -1,0 +1,65 @@
+"""Plain-text tables and series, formatted the way the paper reports them.
+
+Benchmarks print these so a run's output can be compared side by side with
+the paper's tables and figure captions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_table", "format_series"]
+
+
+@dataclass
+class Table:
+    """A simple titled table with string headers and formatted rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        row = [_format_cell(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table {self.title!r} has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        return format_table(self)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(table: Table) -> str:
+    """Render a table with aligned columns."""
+    widths = [len(header) for header in table.headers]
+    for row in table.rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "  ".join("-" * width for width in widths)
+    body = [table.title, line(table.headers), separator]
+    body.extend(line(row) for row in table.rows)
+    return "\n".join(body)
+
+
+def format_series(
+    title: str, points: list[tuple[float, float]], x_label: str = "t", y_label: str = "y"
+) -> str:
+    """Render a (time, value) series as aligned columns."""
+    lines = [title, f"{x_label:>10}  {y_label:>12}", f"{'-' * 10}  {'-' * 12}"]
+    lines.extend(f"{x:>10.1f}  {y:>12.4f}" for x, y in points)
+    return "\n".join(lines)

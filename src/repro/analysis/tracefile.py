@@ -1,0 +1,81 @@
+"""Trace persistence: save and reload page-access traces for off-line work.
+
+The paper notes that parts of its prototype (MRC determination, the Table 1
+buffer-pool study) run "only through off-line trace analysis".  This module
+is that workflow's file format: per-query-class page traces stored in a
+single compressed ``.npz`` archive, round-tripping exactly.
+
+Layout inside the archive: one int64 array per context key, plus a
+``__meta__`` array carrying the format version.  Context keys contain ``/``
+(``app/class``), which numpy's zip layer handles fine.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..sim.trace import PageAccessTrace
+
+__all__ = [
+    "FORMAT_VERSION",
+    "save_traces",
+    "load_traces",
+    "trace_summary",
+]
+
+FORMAT_VERSION = 1
+_META_KEY = "__meta__"
+
+
+def save_traces(
+    path: str | Path | io.IOBase,
+    traces: dict[str, PageAccessTrace | np.ndarray | list[int]],
+) -> None:
+    """Write per-context traces to a compressed archive."""
+    if not traces:
+        raise ValueError("nothing to save: the trace dictionary is empty")
+    arrays: dict[str, np.ndarray] = {}
+    for key, trace in traces.items():
+        if key == _META_KEY:
+            raise ValueError(f"context key {key!r} is reserved")
+        if isinstance(trace, PageAccessTrace):
+            array = trace.pages()
+        else:
+            array = np.asarray(trace, dtype=np.int64)
+        if array.ndim != 1:
+            raise ValueError(f"trace {key!r} must be one-dimensional")
+        arrays[key] = array
+    arrays[_META_KEY] = np.asarray([FORMAT_VERSION], dtype=np.int64)
+    np.savez_compressed(path, **arrays)
+
+
+def load_traces(path: str | Path | io.IOBase) -> dict[str, np.ndarray]:
+    """Read a trace archive back into {context key: int64 array}."""
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError("not a repro trace archive (missing metadata)")
+        version = int(archive[_META_KEY][0])
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"trace archive version {version} is newer than supported "
+                f"({FORMAT_VERSION})"
+            )
+        return {
+            key: archive[key].astype(np.int64)
+            for key in archive.files
+            if key != _META_KEY
+        }
+
+
+def trace_summary(traces: dict[str, np.ndarray]) -> dict[str, dict[str, int]]:
+    """Per-context length and footprint, for quick inspection."""
+    return {
+        key: {
+            "accesses": int(len(array)),
+            "distinct_pages": int(len(np.unique(array))) if len(array) else 0,
+        }
+        for key, array in traces.items()
+    }

@@ -1,0 +1,233 @@
+"""Command-line interface: regenerate any of the paper's artefacts.
+
+Usage::
+
+    python -m repro list                 # what can be reproduced
+    python -m repro fig3                 # sine load / CPU provisioning
+    python -m repro fig4                 # index drop / outlier detection
+    python -m repro fig5 | fig6          # miss-ratio curves
+    python -m repro table1 | table2 | table3
+    python -m repro locks                # the future-work lock scenario
+    python -m repro all                  # everything, in order
+
+Each command runs the corresponding deterministic experiment and prints
+the reproduced table/series next to the paper's reference numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis.report import Table, format_series
+
+__all__ = ["main"]
+
+
+def _fig3(args) -> int:
+    from .experiments.cpu_saturation import CPUSaturationConfig, run_cpu_saturation
+
+    result = run_cpu_saturation(CPUSaturationConfig(intervals=args.intervals or 72))
+    print(
+        format_series(
+            "Figure 3(a) — clients",
+            [(t, float(c)) for t, c in result.load_series],
+            x_label="t (s)",
+            y_label="clients",
+        )
+    )
+    print()
+    print(
+        format_series(
+            "Figure 3(b) — replicas",
+            [(t, float(a)) for t, a in result.allocation_series],
+            x_label="t (s)",
+            y_label="replicas",
+        )
+    )
+    print()
+    print(
+        format_series(
+            "Figure 3(c) — mean latency (SLA 1 s)",
+            result.latency_series,
+            x_label="t (s)",
+            y_label="latency",
+        )
+    )
+    print(f"\npeak replicas: {result.peak_replicas}")
+    return 0
+
+
+def _fig4(args) -> int:
+    from .experiments.index_drop import IndexDropConfig, run_index_drop
+
+    result = run_index_drop(IndexDropConfig(clients=args.clients or 60))
+    for metric in ("latency", "throughput", "misses", "readaheads"):
+        print(result.ratio_table(metric).render())
+        print()
+    print(f"outlier contexts: {result.outlier_contexts}")
+    print(
+        f"latency: {result.latency_before:.2f} s -> "
+        f"{result.latency_violation:.2f} s -> {result.latency_after:.2f} s"
+    )
+    for action in result.actions:
+        for context, pages in action.quota_map().items():
+            print(f"quota enforced: {context} = {pages} pages (paper: 3695)")
+    return 0
+
+
+def _fig5(args) -> int:
+    from .experiments.mrc_curves import (
+        run_fig5_bestseller,
+        run_fig5_bestseller_degraded,
+    )
+
+    indexed = run_fig5_bestseller(executions=args.executions or 400)
+    degraded = run_fig5_bestseller_degraded(executions=(args.executions or 400) // 5)
+    print(indexed.to_table().render())
+    print(
+        f"\nindexed plan:  acceptable {indexed.params.acceptable_memory} pages "
+        "(paper: 6982)"
+    )
+    print(
+        f"degraded plan: acceptable {degraded.params.acceptable_memory} pages; "
+        f"ideal miss ratio {degraded.params.ideal_miss_ratio:.2f} "
+        "(flat curve — the quota search allots pool-minus-others, paper: 3695)"
+    )
+    return 0
+
+
+def _fig6(args) -> int:
+    from .experiments.mrc_curves import run_fig6_search_items_by_region
+
+    result = run_fig6_search_items_by_region(executions=args.executions or 200)
+    print(result.to_table().render())
+    print(
+        f"\nacceptable memory: {result.params.acceptable_memory} pages "
+        "(paper: 7906 of an 8192-page pool)"
+    )
+    return 0
+
+
+def _table1(args) -> int:
+    from .experiments.buffer_partitioning import (
+        BufferPartitioningConfig,
+        run_buffer_partitioning,
+    )
+
+    result = run_buffer_partitioning(BufferPartitioningConfig())
+    print(result.to_table().render())
+    print(f"\nBestSeller quota: {result.quota_pages} pages (paper: 3695)")
+    print("paper: shared 95.5/96.2, partitioned 95.7/99.5, exclusive 96.1/99.9")
+    return 0
+
+
+def _table2(args) -> int:
+    from .experiments.memory_contention import (
+        MemoryContentionConfig,
+        run_memory_contention,
+    )
+
+    result = run_memory_contention(MemoryContentionConfig())
+    print(result.to_table().render())
+    print("\npaper: 0.54/8.73 -> 5.42/4.29 -> 1.27/6.44")
+    print(f"rescheduled: {result.rescheduled_context}")
+    return 0
+
+
+def _table3(args) -> int:
+    from .experiments.io_contention import IOContentionConfig, run_io_contention
+
+    result = run_io_contention(
+        IOContentionConfig(clients_per_instance=args.clients or 150)
+    )
+    print(result.to_table().render())
+    print("\npaper: 1.5/97 -> 4.8/30 -> 1.5/95")
+    print(
+        f"heaviest I/O context: {result.heaviest_io_context} "
+        f"({result.heaviest_io_share:.0%}; paper: 87%)"
+    )
+    return 0
+
+
+def _locks(args) -> int:
+    from .experiments.lock_contention import (
+        LockContentionConfig,
+        run_lock_contention,
+    )
+
+    result = run_lock_contention(LockContentionConfig(clients=args.clients or 50))
+    table = Table(
+        title="Lock contention (wrong-arguments AdminUpdate)",
+        headers=["phase", "mean latency (s)", "lock-wait share"],
+    )
+    table.add_row("baseline", f"{result.latency_before:.2f}",
+                  f"{result.baseline_lock_wait_share:.1%}")
+    table.add_row("fault", f"{result.latency_during:.2f}",
+                  f"{result.lock_wait_share:.1%}")
+    print(table.render())
+    print(f"\nreported aggressor: {result.reported_aggressor}")
+    if result.reports:
+        print(f"report: {result.reports[0].reason}")
+    return 0
+
+
+def _list(args) -> int:
+    print("Reproducible artefacts:")
+    for name, help_text in sorted(_COMMANDS.items()):
+        if name not in ("list", "all"):
+            print(f"  {name:8s} {help_text[1]}")
+    return 0
+
+
+def _all(args) -> int:
+    status = 0
+    for name in ("fig3", "fig4", "fig5", "fig6", "table1", "table2", "table3", "locks"):
+        print(f"\n{'=' * 20} {name} {'=' * 20}")
+        status |= _COMMANDS[name][0](args)
+    return status
+
+
+_COMMANDS = {
+    "list": (_list, "list the reproducible artefacts"),
+    "fig3": (_fig3, "sine client load, reactive CPU provisioning"),
+    "fig4": (_fig4, "index drop: metric ratios, outliers, quota"),
+    "fig5": (_fig5, "BestSeller miss-ratio curve"),
+    "fig6": (_fig6, "SearchItemsByRegion miss-ratio curve"),
+    "table1": (_table1, "buffer-pool organisations: hit ratios"),
+    "table2": (_table2, "shared-pool memory contention (TPC-W + RUBiS)"),
+    "table3": (_table3, "Xen dom0 I/O contention (two RUBiS domains)"),
+    "locks": (_locks, "lock-contention anomaly (the paper's future work)"),
+    "all": (_all, "run every artefact in order"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of 'Outlier Detection for "
+            "Fine-grained Load Balancing in Database Clusters' (ICDE 2007)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (_, help_text) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--clients", type=int, default=None,
+                         help="override the emulated client population")
+        sub.add_argument("--intervals", type=int, default=None,
+                         help="override the number of measurement intervals")
+        sub.add_argument("--executions", type=int, default=None,
+                         help="override trace length (MRC commands)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = _COMMANDS[args.command][0]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Cluster substrate: servers, VMs, replicas, schedulers, resource manager."""
+
+from .consistency import ReplicationState, WriteToken
+from .replica import Host, Replica
+from .resource_manager import AllocationEvent, ResourceManager
+from .scheduler import AppIntervalMetrics, Scheduler
+from .server import IntervalLoad, LoadModel, PhysicalServer, ServerSpec
+from .vm import VirtualMachine, XenHost
+
+__all__ = [
+    "AllocationEvent",
+    "AppIntervalMetrics",
+    "Host",
+    "IntervalLoad",
+    "LoadModel",
+    "PhysicalServer",
+    "Replica",
+    "ReplicationState",
+    "ResourceManager",
+    "Scheduler",
+    "ServerSpec",
+    "VirtualMachine",
+    "WriteToken",
+    "XenHost",
+]

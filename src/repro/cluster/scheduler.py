@@ -1,0 +1,375 @@
+"""Per-application schedulers: consistency, placement, load balancing.
+
+One scheduler per application sits between the application tier and the
+database tier (paper Figure 2).  It
+
+* serialises writes and sends them to **all** replicas of its application
+  (read-one-write-all),
+* load-balances each read-only query over the subset of replicas its
+  **query class** is placed on — the query class is the scheduling unit,
+  which is what makes the load balancing *fine-grained*, and
+* tracks application-level latency and throughput per measurement interval
+  for SLA compliance checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.query import QueryClass
+from ..engine.statslog import ExecutionRecord
+from .consistency import ReplicationState
+from .replica import Replica
+
+__all__ = ["AppIntervalMetrics", "Scheduler"]
+
+
+@dataclass
+class AppIntervalMetrics:
+    """Application-level SLA accounting over one measurement interval."""
+
+    app: str
+    interval_index: int
+    queries: int = 0
+    total_latency: float = 0.0
+    max_latency: float = 0.0
+    interval_length: float = 10.0
+
+    def observe(self, latency: float) -> None:
+        self.queries += 1
+        self.total_latency += latency
+        self.max_latency = max(self.max_latency, latency)
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.queries if self.queries else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed interactions per second (the paper reports WIPS)."""
+        return self.queries / self.interval_length if self.interval_length else 0.0
+
+    def sla_met(self, sla_latency: float) -> bool:
+        """The paper's SLA: average query latency under the bound.
+
+        An idle interval (no queries) trivially meets the SLA.
+        """
+        return self.queries == 0 or self.mean_latency <= sla_latency
+
+
+class Scheduler:
+    """The scheduler of one application.
+
+    Two write-propagation modes, mirroring the authors' scheduler-based
+    replication substrate:
+
+    * **synchronous** (default): a write executes on every replica before
+      returning; the client pays the slowest replica's latency.
+    * **asynchronous** (``async_replication=True``): a write returns after
+      executing on *one* replica; the scheduler propagates it to the others
+      after ``propagation_delay`` simulated seconds.  Strong consistency is
+      preserved the way the paper's substrate does it: reads are only ever
+      routed to replicas that have applied every committed write, so a
+      lagging replica silently drops out of the read set until it catches
+      up.
+    """
+
+    READ_POLICIES = ("round_robin", "least_loaded")
+
+    def __init__(
+        self,
+        app: str,
+        sla_latency: float = 1.0,
+        interval_length: float = 10.0,
+        async_replication: bool = False,
+        propagation_delay: float = 0.05,
+        read_policy: str = "round_robin",
+    ) -> None:
+        if sla_latency <= 0:
+            raise ValueError(f"SLA latency must be positive: {sla_latency}")
+        if propagation_delay < 0:
+            raise ValueError(
+                f"propagation delay must be non-negative: {propagation_delay}"
+            )
+        if read_policy not in self.READ_POLICIES:
+            raise ValueError(
+                f"unknown read policy {read_policy!r}; "
+                f"choose from {self.READ_POLICIES}"
+            )
+        self.read_policy = read_policy
+        self.app = app
+        self.sla_latency = sla_latency
+        self.interval_length = interval_length
+        self.async_replication = async_replication
+        self.propagation_delay = propagation_delay
+        self.replicas: dict[str, Replica] = {}
+        self.replication = ReplicationState(app=app)
+        self._placement: dict[str, set[str]] = {}
+        self._round_robin: dict[str, int] = {}
+        self._interval_index = 0
+        self._metrics = AppIntervalMetrics(
+            app=app, interval_index=0, interval_length=interval_length
+        )
+        # Per-replica FIFO of (apply_time, sequence, query_class) writes
+        # awaiting asynchronous application.
+        self._pending: dict[str, list] = {}
+        # Recent write history for catch-up of recovered replicas.
+        from collections import deque
+
+        self._write_log: deque = deque(maxlen=10_000)
+
+    # ------------------------------------------------------------------ #
+    # Replica-set management                                             #
+    # ------------------------------------------------------------------ #
+
+    def add_replica(self, replica: Replica, synced: bool = True) -> None:
+        if replica.app != self.app:
+            raise ValueError(
+                f"replica {replica.name!r} serves app {replica.app!r}, "
+                f"not {self.app!r}"
+            )
+        if replica.name in self.replicas:
+            raise ValueError(f"replica {replica.name!r} already attached")
+        self.replicas[replica.name] = replica
+        self.replication.add_replica(replica.name, synced=synced)
+        replica.applied_writes = self.replication.watermarks[replica.name]
+
+    def remove_replica(self, replica_name: str) -> Replica:
+        if replica_name not in self.replicas:
+            raise KeyError(f"no replica named {replica_name!r}")
+        if len(self.replicas) == 1:
+            raise ValueError(
+                f"cannot remove the last replica of app {self.app!r}"
+            )
+        replica = self.replicas.pop(replica_name)
+        self.replication.remove_replica(replica_name)
+        self._pending.pop(replica_name, None)
+        for context_key in list(self._placement):
+            targets = self._placement[context_key]
+            targets.discard(replica_name)
+            if not targets:
+                # A class pinned only to the departing replica falls back to
+                # being load-balanced over the full replica set.
+                del self._placement[context_key]
+        return replica
+
+    def replica_names(self) -> list[str]:
+        return sorted(self.replicas)
+
+    # ------------------------------------------------------------------ #
+    # Query-class placement (the fine-grained scheduling unit)           #
+    # ------------------------------------------------------------------ #
+
+    def place_class(self, context_key: str, replica_names: list[str]) -> None:
+        """Pin a query class to a subset of the application's replicas."""
+        unknown = [n for n in replica_names if n not in self.replicas]
+        if unknown:
+            raise KeyError(f"unknown replicas in placement: {unknown}")
+        if not replica_names:
+            raise ValueError(
+                f"placement of {context_key!r} needs at least one replica"
+            )
+        self._placement[context_key] = set(replica_names)
+
+    def placement_of(self, context_key: str) -> list[str]:
+        """Replicas a class runs on (defaults to the full replica set)."""
+        targets = self._placement.get(context_key)
+        if targets is None:
+            return self.replica_names()
+        return sorted(targets)
+
+    def clear_placement(self, context_key: str) -> None:
+        self._placement.pop(context_key, None)
+
+    def pinned_contexts(self) -> dict[str, list[str]]:
+        """Every explicitly placed class and the replicas it is pinned to."""
+        return {key: sorted(targets) for key, targets in self._placement.items()}
+
+    def move_class(self, context_key: str, to_replica: str) -> None:
+        """Reschedule a class so it runs *only* on ``to_replica``.
+
+        This is the paper's isolate-on-a-different-replica action; the
+        class's partitions on its previous replicas simply stop receiving
+        traffic (and cool down naturally).
+        """
+        self.place_class(context_key, [to_replica])
+
+    # ------------------------------------------------------------------ #
+    # Query routing                                                      #
+    # ------------------------------------------------------------------ #
+
+    def submit(self, query_class: QueryClass, timestamp: float) -> ExecutionRecord:
+        """Route one query: writes go everywhere, reads go to one replica."""
+        if query_class.app != self.app:
+            raise ValueError(
+                f"query of app {query_class.app!r} submitted to scheduler "
+                f"of {self.app!r}"
+            )
+        if not self.replicas:
+            raise RuntimeError(f"app {self.app!r} has no replicas")
+        if self.async_replication:
+            self.drain_pending(timestamp)
+        if query_class.is_write:
+            if self.async_replication:
+                record = self._submit_write_async(query_class, timestamp)
+            else:
+                record = self._submit_write(query_class, timestamp)
+        else:
+            record = self._submit_read(query_class, timestamp)
+        self._metrics.observe(record.latency)
+        return record
+
+    def _submit_read(self, query_class: QueryClass, timestamp: float) -> ExecutionRecord:
+        key = query_class.context_key
+        eligible = [
+            name
+            for name in self.placement_of(key)
+            if self.replication.is_current(name) and self.replicas[name].online
+        ]
+        if not eligible:
+            raise RuntimeError(
+                f"no current online replica for class {key!r} of app {self.app!r}"
+            )
+        if self.read_policy == "least_loaded" and len(eligible) > 1:
+            target = min(eligible, key=self._host_load)
+        else:
+            cursor = self._round_robin.get(key, 0)
+            target = eligible[cursor % len(eligible)]
+            self._round_robin[key] = cursor + 1
+        return self.replicas[target].execute(query_class, timestamp)
+
+    def _host_load(self, replica_name: str) -> tuple[float, str]:
+        """Smoothed CPU + I/O utilisation of a replica's host (for routing).
+
+        Ties break on the replica name so routing stays deterministic.
+        """
+        host = self.replicas[replica_name].host
+        cpu = float(getattr(host, "cpu_utilisation", 0.0))
+        io = float(getattr(host, "io_utilisation", 0.0))
+        return (cpu + io, replica_name)
+
+    def _submit_write(self, query_class: QueryClass, timestamp: float) -> ExecutionRecord:
+        token = self.replication.begin_write()
+        self._write_log.append((token, query_class))
+        slowest: ExecutionRecord | None = None
+        for name in self.replica_names():
+            replica = self.replicas[name]
+            if not replica.online:
+                continue
+            if self.replication.watermarks[name] != token.sequence - 1:
+                # A recovered-but-lagging replica cannot take this write in
+                # order; it stays out of the write set until caught up.
+                continue
+            record = replica.execute(query_class, timestamp)
+            replica.apply_write(token.sequence)
+            self.replication.acknowledge(name, token)
+            if slowest is None or record.latency > slowest.latency:
+                slowest = record
+        if slowest is None:
+            raise RuntimeError(f"write lost: no online replica for {self.app!r}")
+        return slowest
+
+    def catch_up(self, replica_name: str, timestamp: float) -> int:
+        """Replay the writes a recovered replica missed, in order.
+
+        Returns the number of writes replayed.  Raises ``RuntimeError`` when
+        the replica is too far behind for the retained write log — a real
+        deployment would rebuild it from a snapshot instead.
+        """
+        if replica_name not in self.replicas:
+            raise KeyError(f"no replica named {replica_name!r}")
+        replica = self.replicas[replica_name]
+        if not replica.online:
+            raise RuntimeError(f"replica {replica_name!r} is offline")
+        watermark = self.replication.watermarks[replica_name]
+        needed = [
+            (token, qc) for token, qc in self._write_log if token.sequence > watermark
+        ]
+        if needed and needed[0][0].sequence != watermark + 1:
+            raise RuntimeError(
+                f"replica {replica_name!r} is behind the retained write log "
+                f"(needs #{watermark + 1}, log starts at "
+                f"#{needed[0][0].sequence}); full resync required"
+            )
+        for token, query_class in needed:
+            replica.execute(query_class, timestamp)
+            replica.apply_write(token.sequence)
+            self.replication.acknowledge(replica_name, token)
+        return len(needed)
+
+    def _submit_write_async(
+        self, query_class: QueryClass, timestamp: float
+    ) -> ExecutionRecord:
+        """Asynchronous propagation: one replica now, the rest later."""
+        token = self.replication.begin_write()
+        self._write_log.append((token, query_class))
+        names = self.replica_names()
+        primary_cursor = self._round_robin.get("__writes__", 0)
+        self._round_robin["__writes__"] = primary_cursor + 1
+        online = [name for name in names if self.replicas[name].online]
+        if not online:
+            raise RuntimeError(f"write lost: no online replica for {self.app!r}")
+        primary = online[primary_cursor % len(online)]
+        # The primary must be current before taking a new write: force-apply
+        # whatever propagation backlog it still carries (ordering!).
+        backlog = self._pending.get(primary)
+        while backlog:
+            _, pending_token, pending_class = backlog.pop(0)
+            self.replicas[primary].execute(pending_class, timestamp)
+            self.replicas[primary].apply_write(pending_token.sequence)
+            self.replication.acknowledge(primary, pending_token)
+        record = self.replicas[primary].execute(query_class, timestamp)
+        self.replicas[primary].apply_write(token.sequence)
+        self.replication.acknowledge(primary, token)
+        apply_time = timestamp + record.latency + self.propagation_delay
+        for name in names:
+            if name == primary:
+                continue
+            self._pending.setdefault(name, []).append(
+                (apply_time, token, query_class)
+            )
+        return record
+
+    def drain_pending(self, now: float) -> int:
+        """Apply every queued asynchronous write due by ``now`` (in order).
+
+        Returns the number of writes applied.  Applications are strictly
+        in sequence per replica: a due write behind a not-yet-due one waits
+        (the propagation stream is FIFO).
+        """
+        applied = 0
+        for name in self.replica_names():
+            queue = self._pending.get(name)
+            if not queue:
+                continue
+            replica = self.replicas[name]
+            while queue and queue[0][0] <= now and replica.online:
+                apply_time, token, query_class = queue.pop(0)
+                replica.execute(query_class, apply_time)
+                replica.apply_write(token.sequence)
+                self.replication.acknowledge(name, token)
+                applied += 1
+        return applied
+
+    @property
+    def pending_writes(self) -> int:
+        """Writes queued for asynchronous application across all replicas."""
+        return sum(len(queue) for queue in self._pending.values())
+
+    # ------------------------------------------------------------------ #
+    # SLA accounting                                                     #
+    # ------------------------------------------------------------------ #
+
+    def close_interval(self) -> AppIntervalMetrics:
+        """Finish the current measurement interval and start the next."""
+        finished = self._metrics
+        self._interval_index += 1
+        self._metrics = AppIntervalMetrics(
+            app=self.app,
+            interval_index=self._interval_index,
+            interval_length=self.interval_length,
+        )
+        return finished
+
+    def peek_metrics(self) -> AppIntervalMetrics:
+        return self._metrics

@@ -1,0 +1,112 @@
+"""What-if advisor: predict per-class miss ratios for a quota plan.
+
+The paper's quota heuristic promises that, at the chosen quotas, "the miss
+ratios for all QC and the rest of the application queries scheduled on the
+same physical server are predicted to be their respective acceptable miss
+ratios by the MRC algorithm".  This module makes that prediction a public,
+testable API:
+
+* :func:`predict_miss_ratios` evaluates each class's stored curve at the
+  memory it would receive under a proposed partitioning (its own quota, or
+  the shared remainder), and
+* :func:`assess_plan` folds the predictions into a verdict against each
+  class's acceptable miss ratio.
+
+Because Mattson curves are exact for LRU, the prediction for a quota'd
+class is exact up to trace drift; for classes sharing the default partition
+it is optimistic (they compete inside it), which is the same approximation
+the paper's heuristic makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .mrc import MissRatioCurve, MRCParameters
+from .quota import QuotaPlan
+
+__all__ = ["ClassPrediction", "PlanAssessment", "predict_miss_ratios", "assess_plan"]
+
+
+@dataclass(frozen=True)
+class ClassPrediction:
+    """One class's predicted behaviour under a proposed partitioning."""
+
+    context_key: str
+    memory_pages: int
+    predicted_miss_ratio: float
+    acceptable_miss_ratio: float
+
+    @property
+    def meets_acceptable(self) -> bool:
+        return self.predicted_miss_ratio <= self.acceptable_miss_ratio + 1e-9
+
+
+@dataclass
+class PlanAssessment:
+    """The advisor's verdict on a whole plan."""
+
+    predictions: dict[str, ClassPrediction] = field(default_factory=dict)
+
+    @property
+    def all_acceptable(self) -> bool:
+        return all(p.meets_acceptable for p in self.predictions.values())
+
+    def failing(self) -> list[str]:
+        return sorted(
+            key
+            for key, prediction in self.predictions.items()
+            if not prediction.meets_acceptable
+        )
+
+
+def predict_miss_ratios(
+    curves: dict[str, MissRatioCurve],
+    quotas: dict[str, int],
+    pool_pages: int,
+) -> dict[str, float]:
+    """Predicted miss ratio of each class under the proposed quotas.
+
+    Classes named in ``quotas`` run in their own partition of that size;
+    every other class is evaluated at the shared remainder.
+    """
+    if pool_pages <= 0:
+        raise ValueError(f"pool size must be positive: {pool_pages}")
+    reserved = sum(quotas.values())
+    if reserved >= pool_pages:
+        raise ValueError(
+            f"quotas reserve {reserved} of {pool_pages} pages; nothing left "
+            "for the shared partition"
+        )
+    unknown = sorted(set(quotas) - set(curves))
+    if unknown:
+        raise KeyError(f"no curves for quota'd contexts: {unknown}")
+    shared = pool_pages - reserved
+    return {
+        key: curve.miss_ratio(quotas.get(key, shared))
+        for key, curve in curves.items()
+    }
+
+
+def assess_plan(
+    curves: dict[str, MissRatioCurve],
+    parameters: dict[str, MRCParameters],
+    plan: QuotaPlan,
+    pool_pages: int,
+) -> PlanAssessment:
+    """Check a quota plan against every class's acceptable miss ratio."""
+    if not plan.feasible:
+        raise ValueError("cannot assess an infeasible plan")
+    predicted = predict_miss_ratios(curves, plan.quotas, pool_pages)
+    assessment = PlanAssessment()
+    shared = pool_pages - plan.reserved_pages
+    for key, ratio in predicted.items():
+        params = parameters.get(key)
+        acceptable = params.acceptable_miss_ratio if params else 1.0
+        assessment.predictions[key] = ClassPrediction(
+            context_key=key,
+            memory_pages=plan.quotas.get(key, shared),
+            predicted_miss_ratio=ratio,
+            acceptable_miss_ratio=acceptable,
+        )
+    return assessment

@@ -1,0 +1,324 @@
+"""Per-server decision managers and per-engine log analyzers.
+
+The schedulers communicate with one decision manager per physical server;
+each decision manager drives one log analyzer per database engine on its
+server (paper §3.1).  The log analyzer is where the monitoring pipeline
+meets the detection algorithm:
+
+* at every interval boundary it drains the engine's statistics log into
+  per-context metric vectors,
+* for applications whose SLA was met it refreshes stable-state signatures,
+* on demand it runs outlier detection against those signatures and manages
+  the per-context miss-ratio curves (initial computation on first
+  scheduling, lazy recomputation during diagnosis).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..engine.engine import DatabaseEngine
+from .metrics import MetricVector, vector_from_stats
+from .mrc import MissRatioCurve, MRCParameters, MRCTracker
+from .outliers import OutlierReport, detect_outliers, top_k_heavyweight
+from .signature import SignatureStore
+
+__all__ = ["LogAnalyzer", "DecisionManager"]
+
+MAX_MRC_TRACE = 60_000
+"""Stack-distance analysis is O(n log n); traces are clipped to this many
+accesses, which is ample for working sets up to the pool size."""
+
+
+def _app_of(context_key: str) -> str:
+    """Query contexts are keyed ``app/class``; recover the app."""
+    return context_key.split("/", 1)[0]
+
+
+class LogAnalyzer:
+    """Monitors one database engine and detects outlier contexts on it."""
+
+    def __init__(self, engine: DatabaseEngine, server_name: str) -> None:
+        self.engine = engine
+        self.server_name = server_name
+        self.signatures = SignatureStore(server=server_name)
+        self.mrc = MRCTracker(server_memory_pages=engine.pool_pages)
+        self._last_vectors: dict[str, MetricVector] = {}
+        self._mrc_window_len: dict[str, int] = {}
+        self._intervals_closed = 0
+        self._first_seen: dict[str, int] = {}
+        # Lock-contention evidence from the interval just closed.
+        self.last_waits_for = None
+        self.last_lock_stats: dict = {}
+        # total_seen watermark of each context's window at recent interval
+        # boundaries; the delta to the oldest mark is the "recent tail" the
+        # diagnosis-time MRC recomputation uses.
+        self._seen_marks: dict[str, deque[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Interval pipeline                                                  #
+    # ------------------------------------------------------------------ #
+
+    def close_interval(
+        self,
+        interval_length: float,
+        sla_met_by_app: dict[str, bool],
+        timestamp: float,
+        initial_mrc_min_accesses: int = 2000,
+    ) -> dict[str, MetricVector]:
+        """Drain the engine log and refresh signatures for stable apps.
+
+        Returns the interval's metric vectors (also retained internally for
+        subsequent ``detect`` calls).
+
+        For contexts of *stable* applications that lack a miss-ratio curve,
+        the initial MRC is computed here — the paper determines a class's
+        MRC when it is first scheduled.  Contexts of violating applications
+        are deliberately left without an MRC so diagnosis recognises them as
+        newly scheduled problem classes.
+        """
+        self.engine.flush_logs()
+        self.last_waits_for = self.engine.locks.reset_waits_for()
+        self.last_lock_stats = self.engine.locks.interval_snapshot()
+        snapshot = self.engine.log.interval_snapshot()
+        vectors = {
+            key: vector_from_stats(stats, interval_length)
+            for key, stats in snapshot.items()
+        }
+        stable_updates = {
+            key: vector
+            for key, vector in vectors.items()
+            if sla_met_by_app.get(_app_of(key), False)
+        }
+        if stable_updates:
+            self.signatures.record_stable(stable_updates, timestamp)
+        for key in stable_updates:
+            window = self.engine.log.window_for(key)
+            if not self.mrc.has(key):
+                if len(window) >= initial_mrc_min_accesses:
+                    self.recompute_mrc(key)
+            else:
+                # Refine the initial estimate while the window is still
+                # filling: a curve computed over a short, cold-miss-dominated
+                # window badly underestimates memory needs.  Each refresh
+                # requires the window to have doubled, so a long-lived class
+                # is recomputed only O(log window-capacity) times.
+                seen = self._mrc_window_len.get(key, 0)
+                if 0 < seen < window.capacity and len(window) >= 2 * seen:
+                    self.recompute_mrc(key)
+        for key in vectors:
+            marks = self._seen_marks.setdefault(key, deque(maxlen=3))
+            marks.append(self.engine.log.window_for(key).total_seen)
+            self._first_seen.setdefault(key, self._intervals_closed)
+        self._intervals_closed += 1
+        self._last_vectors = vectors
+        return vectors
+
+    def current_vectors(self, app: str | None = None) -> dict[str, MetricVector]:
+        """The most recent interval's vectors, optionally for one app."""
+        if app is None:
+            return dict(self._last_vectors)
+        return {
+            key: vector
+            for key, vector in self._last_vectors.items()
+            if _app_of(key) == app
+        }
+
+    # ------------------------------------------------------------------ #
+    # Detection                                                          #
+    # ------------------------------------------------------------------ #
+
+    def detect(self, app: str) -> OutlierReport:
+        """Outlier contexts of ``app`` on this engine, per the paper's IQR
+        scheme over metric impact values."""
+        current = self.current_vectors(app)
+        stable = {
+            key: vector
+            for key, vector in self.signatures.stable_vectors().items()
+            if key in current
+        }
+        return detect_outliers(current, stable)
+
+    def heavyweight_contexts(self, app: str, k: int = 3) -> list[str]:
+        """Fallback candidates when no outliers fire (paper §3.3.2)."""
+        current = self.current_vectors(app)
+        if not current:
+            return []
+        return top_k_heavyweight(current, k=min(k, len(current)))
+
+    def recently_scheduled(self, context_key: str, horizon: int = 5) -> bool:
+        """Whether the context first appeared on this engine within the last
+        ``horizon`` closed intervals — the reproduction's notion of a "newly
+        scheduled" class."""
+        first = self._first_seen.get(context_key)
+        if first is None:
+            return True
+        return self._intervals_closed - first <= horizon
+
+    def new_contexts(
+        self, app: str | None = None, horizon: int = 5
+    ) -> list[str]:
+        """Contexts active this interval that were only recently scheduled —
+        problem classes directly (paper §3.3.2).
+
+        With ``app=None`` all applications on the engine are considered:
+        memory interference is cross-application (a newly started workload
+        in a shared buffer pool victimises the incumbent), so a violation of
+        one application legitimately blames another's new classes.
+        """
+        return sorted(
+            key
+            for key in self.current_vectors(app)
+            if self.recently_scheduled(key, horizon)
+        )
+
+    # ------------------------------------------------------------------ #
+    # MRC management                                                     #
+    # ------------------------------------------------------------------ #
+
+    def ensure_mrc(self, context_key: str) -> MRCParameters | None:
+        """Compute the context's MRC if it does not exist yet.
+
+        Returns ``None`` when the engine has no recent-access window for the
+        context (it has not executed here yet).
+        """
+        if self.mrc.has(context_key):
+            return self.mrc.parameters_of(context_key)
+        return self.recompute_mrc(context_key)
+
+    def recompute_mrc(
+        self, context_key: str, recent_only: bool = False, min_tail: int = 2000
+    ) -> MRCParameters | None:
+        """Recompute the MRC from the recent page-access window.
+
+        With ``recent_only`` the trace is limited to accesses issued over
+        roughly the last two measurement intervals — the diagnosis path uses
+        this so a curve recomputed *after* a behaviour change (index drop, a
+        new workload) reflects the changed plan rather than a blend of old
+        and new history.
+        """
+        if not self.engine.log.has_window(context_key):
+            return None
+        window = self.engine.log.window_for(context_key)
+        trace = window.snapshot()
+        if recent_only:
+            marks = self._seen_marks.get(context_key)
+            if marks:
+                # marks[-1] is the watermark at the close of the interval
+                # being diagnosed, so marks[-2] bounds exactly that
+                # interval's accesses — the post-change behaviour.
+                base = marks[-2] if len(marks) >= 2 else 0
+                tail = window.total_seen - base
+                tail = max(min(tail, len(trace)), min(min_tail, len(trace)))
+                trace = trace[-tail:]
+        if len(trace) > MAX_MRC_TRACE:
+            trace = trace[-MAX_MRC_TRACE:]
+        params = self.mrc.compute(context_key, trace)
+        self.signatures.set_mrc(context_key, params)
+        self._mrc_window_len[context_key] = len(window)
+        return params
+
+    def stored_mrc(self, context_key: str) -> MRCParameters | None:
+        return self.signatures.mrc_of(context_key)
+
+    def assess_recent_behaviour(
+        self,
+        context_key: str,
+        change_threshold: float,
+        min_tail: int = 2000,
+        new_class_horizon: int = 5,
+    ) -> tuple[str, MRCParameters | None]:
+        """Did this context's paging behaviour recently change?
+
+        Computes MRC parameters over the most recent interval's accesses and
+        over an *equal-length* slice of the history immediately preceding it,
+        then applies the significance test.  Comparing equal-length slices
+        cancels trace-length artefacts (short traces are cold-miss dominated,
+        which inflates apparent parameter changes).
+
+        Returns ``(status, recent_params)`` where status is one of
+
+        * ``"no-window"`` — the context never executed here,
+        * ``"insufficient"`` — too few recent accesses to judge the class,
+        * ``"new"`` — no MRC was ever recorded for the class here: a newly
+          scheduled class (a problem class by definition),
+        * ``"changed"`` / ``"unchanged"`` — the significance verdict.
+
+        Whenever a recent curve is computed it is stored as the context's
+        current MRC record (the paper's recomputation step).
+        """
+        if not self.engine.log.has_window(context_key):
+            return ("no-window", None)
+        is_new = self.recently_scheduled(context_key, new_class_horizon)
+        window = self.engine.log.window_for(context_key)
+        trace = window.snapshot()
+        marks = self._seen_marks.get(context_key)
+        base = marks[-2] if marks and len(marks) >= 2 else 0
+        tail = window.total_seen - base
+        tail = max(min(tail, len(trace)), min(min_tail, len(trace)))
+        recent = trace[-tail:]
+        if len(recent) < min_tail:
+            return ("insufficient", None)
+        # The comparison slice comes from the *oldest* end of the window:
+        # a change is typically noticed one interval after it happens (the
+        # violation has to build up first), so the slice immediately before
+        # the recent tail may already exhibit the new behaviour.  The oldest
+        # resident history is the best stable-era evidence available.
+        before = trace[: min(tail, len(trace) - tail)]
+        recent_curve = MissRatioCurve.from_trace(recent)
+        recent_params = recent_curve.parameters(self.mrc.server_memory_pages)
+        self.mrc.store(context_key, recent_curve, recent_params)
+        self.signatures.set_mrc(context_key, recent_params)
+        self._mrc_window_len[context_key] = len(window)
+        if is_new:
+            return ("new", recent_params)
+        if len(before) < min(min_tail, tail) // 2:
+            # Not enough prior history for a like-for-like comparison; an
+            # established class cannot be called changed on this evidence.
+            return ("unchanged", recent_params)
+        before_params = MissRatioCurve.from_trace(before).parameters(
+            self.mrc.server_memory_pages
+        )
+        changed = recent_params.significantly_differs_from(
+            before_params, change_threshold
+        )
+        return ("changed" if changed else "unchanged", recent_params)
+
+
+@dataclass
+class DecisionManager:
+    """One per physical server: fans interval processing out to the log
+    analyzers of every engine hosted there."""
+
+    server_name: str
+
+    def __post_init__(self) -> None:
+        self._analyzers: dict[str, LogAnalyzer] = {}
+
+    def attach_engine(self, engine: DatabaseEngine) -> LogAnalyzer:
+        if engine.name in self._analyzers:
+            return self._analyzers[engine.name]
+        analyzer = LogAnalyzer(engine, self.server_name)
+        self._analyzers[engine.name] = analyzer
+        return analyzer
+
+    def analyzer_for(self, engine_name: str) -> LogAnalyzer:
+        try:
+            return self._analyzers[engine_name]
+        except KeyError:
+            raise KeyError(
+                f"server {self.server_name!r} has no engine {engine_name!r}"
+            ) from None
+
+    def analyzers(self) -> list[LogAnalyzer]:
+        return [self._analyzers[name] for name in sorted(self._analyzers)]
+
+    def close_interval(
+        self,
+        interval_length: float,
+        sla_met_by_app: dict[str, bool],
+        timestamp: float,
+    ) -> None:
+        for analyzer in self.analyzers():
+            analyzer.close_interval(interval_length, sla_met_by_app, timestamp)

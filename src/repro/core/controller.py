@@ -1,0 +1,405 @@
+"""The cluster controller: monitoring loop + action application.
+
+The controller closes the paper's feedback loop.  Once per measurement
+interval it:
+
+1. closes every scheduler's SLA accounting and every host's load model,
+2. lets every decision manager drain its engines' statistics logs
+   (refreshing stable-state signatures for applications that met their SLA),
+3. runs the diagnosis procedure for every application in violation, and
+4. applies the resulting actions to the cluster — provisioning replicas,
+   enforcing buffer-pool quotas, or rescheduling query classes.
+
+Fine-grained retuning can be disabled (``fine_grained=False``) to obtain the
+coarse-only baseline the ablation benches compare against: every violation
+then goes straight to replica provisioning / application isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .analyzer import DecisionManager, LogAnalyzer
+from ..cluster.replica import Replica
+from ..cluster.resource_manager import ResourceManager
+from ..cluster.scheduler import AppIntervalMetrics, Scheduler
+from .diagnosis import (
+    Action,
+    ActionKind,
+    Diagnosis,
+    DiagnosisConfig,
+    ReplicaView,
+    diagnose,
+)
+
+__all__ = ["ControllerConfig", "AppIntervalReport", "ClusterController"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Controller tunables."""
+
+    interval_length: float = 10.0
+    fine_grained: bool = True
+    fallback_patience: int = 3
+    action_grace_intervals: int = 2
+    startup_grace_intervals: int = 2
+    scale_down: bool = False
+    scale_down_cpu_threshold: float = 0.25
+    scale_down_patience: int = 2
+    diagnosis: DiagnosisConfig = field(default_factory=DiagnosisConfig)
+
+    def __post_init__(self) -> None:
+        if self.interval_length <= 0:
+            raise ValueError("interval length must be positive")
+        if self.fallback_patience < 1:
+            raise ValueError("fallback patience must be at least 1")
+        if self.action_grace_intervals < 0:
+            raise ValueError("action grace must be non-negative")
+        if self.startup_grace_intervals < 0:
+            raise ValueError("startup grace must be non-negative")
+        if not 0 < self.scale_down_cpu_threshold < 1:
+            raise ValueError("scale-down threshold must be in (0, 1)")
+        if self.scale_down_patience < 1:
+            raise ValueError("scale-down patience must be at least 1")
+
+
+@dataclass
+class AppIntervalReport:
+    """What happened to one application during one interval."""
+
+    app: str
+    interval_index: int
+    timestamp: float
+    mean_latency: float
+    throughput: float
+    sla_met: bool
+    actions: list[Action] = field(default_factory=list)
+
+
+class ClusterController:
+    """Owns the monitoring/diagnosis/actuation loop of one cluster."""
+
+    def __init__(
+        self,
+        resource_manager: ResourceManager,
+        config: ControllerConfig | None = None,
+    ) -> None:
+        self.resource_manager = resource_manager
+        self.config = config if config is not None else ControllerConfig()
+        self.schedulers: dict[str, Scheduler] = {}
+        self._hosts: dict[str, object] = {}
+        self._decision_managers: dict[str, DecisionManager] = {}
+        self._violation_streak: dict[str, int] = {}
+        self._low_util_streak: dict[str, int] = {}
+        self._last_action_interval: dict[str, int] = {}
+        self._fine_action_tried: dict[str, bool] = {}
+        self.reports: list[AppIntervalReport] = []
+        self.diagnoses: list[Diagnosis] = []
+        self._interval_index = 0
+
+    # ------------------------------------------------------------------ #
+    # Wiring                                                             #
+    # ------------------------------------------------------------------ #
+
+    def add_scheduler(self, scheduler: Scheduler) -> None:
+        if scheduler.app in self.schedulers:
+            raise ValueError(f"app {scheduler.app!r} already has a scheduler")
+        scheduler.interval_length = self.config.interval_length
+        self.schedulers[scheduler.app] = scheduler
+        for replica in scheduler.replicas.values():
+            self.track_replica(replica)
+
+    def register_host(self, host) -> None:
+        """Track a host whose load model must be closed each interval.
+
+        ``host`` is anything with ``close_interval(interval_length)`` — a
+        :class:`PhysicalServer` or a :class:`XenHost` (which closes its VMs).
+        """
+        self._hosts.setdefault(self._host_key(host), host)
+
+    @staticmethod
+    def _host_key(host) -> str:
+        name = getattr(host, "name", None)
+        if name is None:  # XenHost exposes its server's name
+            name = host.server.name
+        return str(name)
+
+    def track_replica(self, replica: Replica) -> LogAnalyzer:
+        """Attach a replica's engine to its server's decision manager."""
+        host_name = replica.host.name
+        manager = self._decision_managers.get(host_name)
+        if manager is None:
+            manager = DecisionManager(server_name=host_name)
+            self._decision_managers[host_name] = manager
+        self.register_host(replica.host)
+        self.resource_manager.register_existing(replica)
+        return manager.attach_engine(replica.engine)
+
+    def analyzer_of(self, replica: Replica) -> LogAnalyzer:
+        manager = self._decision_managers[replica.host.name]
+        return manager.analyzer_for(replica.engine.name)
+
+    # ------------------------------------------------------------------ #
+    # The interval loop                                                  #
+    # ------------------------------------------------------------------ #
+
+    def close_interval(self, timestamp: float) -> list[AppIntervalReport]:
+        """Process one measurement-interval boundary; returns app reports."""
+        length = self.config.interval_length
+        app_metrics: dict[str, AppIntervalMetrics] = {}
+        sla_met: dict[str, bool] = {}
+        for app, scheduler in self.schedulers.items():
+            if scheduler.async_replication:
+                scheduler.drain_pending(timestamp)
+            metrics = scheduler.close_interval()
+            app_metrics[app] = metrics
+            sla_met[app] = metrics.sla_met(scheduler.sla_latency)
+
+        for host in self._hosts.values():
+            host.close_interval(length)
+
+        for manager in self._decision_managers.values():
+            manager.close_interval(length, sla_met, timestamp)
+
+        reports: list[AppIntervalReport] = []
+        for app in sorted(self.schedulers):
+            metrics = app_metrics[app]
+            report = AppIntervalReport(
+                app=app,
+                interval_index=self._interval_index,
+                timestamp=timestamp,
+                mean_latency=metrics.mean_latency,
+                throughput=metrics.throughput,
+                sla_met=sla_met[app],
+            )
+            if sla_met[app]:
+                self._violation_streak[app] = 0
+                if self.config.scale_down:
+                    self._maybe_scale_down(app, timestamp)
+            elif metrics.queries > 0:
+                self._violation_streak[app] = self._violation_streak.get(app, 0) + 1
+                report.actions = self._react(app, timestamp)
+            reports.append(report)
+        self.reports.extend(reports)
+        self._interval_index += 1
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # Scale-down (release replicas when the load recedes)                #
+    # ------------------------------------------------------------------ #
+
+    def _maybe_scale_down(self, app: str, timestamp: float) -> None:
+        """Release the newest replica after sustained low CPU utilisation.
+
+        Mirrors the provisioning direction of the paper's Figure 3: the
+        machine allocation tracks the sinusoid load both up and down.
+        """
+        scheduler = self.schedulers[app]
+        if len(scheduler.replicas) <= 1:
+            self._low_util_streak[app] = 0
+            return
+        utilisations = [
+            getattr(replica.host, "cpu_utilisation", 1.0)
+            for replica in scheduler.replicas.values()
+        ]
+        if max(utilisations) < self.config.scale_down_cpu_threshold:
+            self._low_util_streak[app] = self._low_util_streak.get(app, 0) + 1
+        else:
+            self._low_util_streak[app] = 0
+            return
+        if self._low_util_streak[app] >= self.config.scale_down_patience:
+            newest = list(scheduler.replicas)[-1]  # insertion order = age
+            self.resource_manager.release_replica(scheduler, newest, timestamp)
+            self._low_util_streak[app] = 0
+
+    # ------------------------------------------------------------------ #
+    # Reaction                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _react(self, app: str, timestamp: float) -> list[Action]:
+        # Cold-start grace: violations in the first intervals after launch
+        # come from an empty buffer pool, not from a real change.
+        if self._interval_index < self.config.startup_grace_intervals:
+            return []
+        # Grace period: the previous action needs a warm-up window before
+        # its effect is measurable; reacting every interval causes thrashing
+        # (each pool rebuild restarts cold and re-violates the SLA).
+        last_action = self._last_action_interval.get(app)
+        if (
+            last_action is not None
+            and self._interval_index - last_action
+            <= self.config.action_grace_intervals
+        ):
+            return []
+        scheduler = self.schedulers[app]
+        views = self._views_of(app)
+        if not self.config.fine_grained:
+            action = Action(
+                kind=ActionKind.COARSE_FALLBACK,
+                app=app,
+                reason="fine-grained retuning disabled (coarse-only baseline)",
+            )
+            self._apply(action, timestamp)
+            return [action]
+
+        diagnosis = diagnose(app, scheduler, views, self.config.diagnosis)
+        self.diagnoses.append(diagnosis)
+        actions = list(diagnosis.actions)
+        streak = self._violation_streak.get(app, 0)
+        fine_kinds = {
+            ActionKind.APPLY_QUOTAS,
+            ActionKind.RESCHEDULE_CLASS,
+            ActionKind.REMOVE_CLASS_FOR_IO,
+            ActionKind.REPORT_LOCK_CONTENTION,
+        }
+        # The diagnosis itself escalates to COARSE_FALLBACK when it finds
+        # nothing actionable; here the controller additionally escalates when
+        # fine-grained actions were *tried* and the SLA is still violated
+        # past the patience budget, or when diagnosis has been inconclusive
+        # for much longer (it may legitimately wait for window coverage).
+        tried_fine = self._fine_action_tried.get(app, False)
+        exhausted = (streak > self.config.fallback_patience and tried_fine) or (
+            streak > 2 * self.config.fallback_patience + 2
+        )
+        if exhausted and all(
+            a.kind in fine_kinds or a.kind is ActionKind.NO_ACTION for a in actions
+        ):
+            actions = [
+                Action(
+                    kind=ActionKind.COARSE_FALLBACK,
+                    app=app,
+                    reason=(
+                        f"SLA still violated after {streak} intervals of "
+                        "fine-grained retuning"
+                    ),
+                )
+            ]
+        if any(a.kind in fine_kinds for a in actions):
+            self._fine_action_tried[app] = True
+        applied = [a for a in actions if self._apply(a, timestamp)]
+        if applied:
+            self._last_action_interval[app] = self._interval_index
+        return actions
+
+    def _views_of(self, app: str) -> list[ReplicaView]:
+        scheduler = self.schedulers[app]
+        views = []
+        for name in scheduler.replica_names():
+            replica = scheduler.replicas[name]
+            analyzer = self.analyzer_of(replica)
+            host = replica.host
+            views.append(
+                ReplicaView(
+                    replica_name=name,
+                    analyzer=analyzer,
+                    cpu_saturated=bool(getattr(host, "cpu_saturated", False)),
+                    io_saturated=bool(getattr(host, "io_saturated", False)),
+                    pool_pages=replica.engine.pool_pages,
+                    interval_length=self.config.interval_length,
+                )
+            )
+        return views
+
+    def _apply(self, action: Action, timestamp: float) -> bool:
+        """Actuate one action; returns whether anything actually changed."""
+        scheduler = self.schedulers[action.app]
+        if action.kind is ActionKind.PROVISION_REPLICA:
+            return self._provision(scheduler, timestamp) is not None
+        if action.kind is ActionKind.APPLY_QUOTAS:
+            replica = scheduler.replicas[action.replica]
+            changed = False
+            existing = replica.engine.quotas
+            for context, pages in action.quota_map().items():
+                current = existing.get(context)
+                # Re-imposing a near-identical quota only cold-restarts the
+                # partitions; treat within-15% proposals as already applied.
+                if current is not None and abs(pages - current) <= 0.15 * current:
+                    continue
+                replica.engine.set_quota(context, pages)
+                changed = True
+            return changed
+        if action.kind in (
+            ActionKind.RESCHEDULE_CLASS,
+            ActionKind.REMOVE_CLASS_FOR_IO,
+        ):
+            # The context may belong to a *different* application than the
+            # violated one (cross-application memory interference): move it
+            # within its owner's scheduler, away from the contended host.
+            owner_app = action.context_key.split("/", 1)[0]
+            owner_scheduler = self.schedulers.get(owner_app)
+            if owner_scheduler is None:
+                return False
+            avoid_host = scheduler.replicas[action.replica].host.name
+            return self._reschedule(
+                owner_scheduler, action.context_key, avoid_host, timestamp
+            )
+        if action.kind is ActionKind.REPORT_LOCK_CONTENTION:
+            # Nothing to actuate — the report itself is the outcome (it names
+            # the aggressor class and any deadlock-prone cycles for the
+            # operator).  Counting it as applied spaces repeat reports by the
+            # action-grace window.
+            return True
+        if action.kind is ActionKind.COARSE_FALLBACK:
+            return self._provision(scheduler, timestamp, exclusive=True) is not None
+        return False  # NO_ACTION applies nothing.
+
+    def _provision(
+        self, scheduler: Scheduler, timestamp: float, exclusive: bool = False
+    ) -> Replica | None:
+        try:
+            replica = self.resource_manager.allocate_replica(
+                scheduler, timestamp, exclusive=exclusive
+            )
+        except RuntimeError:
+            return None  # pool exhausted; nothing to do
+        self.track_replica(replica)
+        return replica
+
+    def _reschedule(
+        self,
+        scheduler: Scheduler,
+        context_key: str | None,
+        avoid_host: str | None,
+        timestamp: float,
+    ) -> bool:
+        if context_key is None:
+            return False
+        candidates = [
+            name
+            for name in scheduler.replica_names()
+            if avoid_host is None
+            or scheduler.replicas[name].host.name != avoid_host
+        ]
+        if not candidates:
+            replica = self._provision(scheduler, timestamp)
+            if replica is None:
+                return False
+            candidates = [replica.name]
+        current = scheduler.placement_of(context_key)
+        if len(current) == 1 and current[0] in candidates:
+            return False  # already isolated off the contended host
+        # Least-crowded target: fewest classes currently pinned there.
+        pinned_counts = {name: 0 for name in candidates}
+        for targets in scheduler.pinned_contexts().values():
+            for name in targets:
+                if name in pinned_counts:
+                    pinned_counts[name] += 1
+        target = min(candidates, key=lambda name: (pinned_counts[name], name))
+        scheduler.move_class(context_key, target)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Reporting                                                          #
+    # ------------------------------------------------------------------ #
+
+    def app_timeline(self, app: str) -> list[AppIntervalReport]:
+        return [report for report in self.reports if report.app == app]
+
+    def actions_taken(self, app: str | None = None) -> list[Action]:
+        actions = []
+        for report in self.reports:
+            for action in report.actions:
+                if app is None or action.app == app:
+                    actions.append(action)
+        return actions

@@ -1,0 +1,306 @@
+"""Miss-ratio curve (MRC) tracking via Mattson's stack algorithm.
+
+The MRC of a query class gives its page miss ratio at every possible memory
+size.  Because LRU obeys the *inclusion property* (a memory of ``k + 1``
+pages always contains the contents of a memory of ``k`` pages), one pass
+over a page trace yields the miss ratio at **all** sizes simultaneously:
+for each reference, the page's LRU *stack distance* ``d`` means a pool of at
+least ``d`` pages would have hit, so ``Hit[d]`` is incremented; first-ever
+references increment ``Hit[inf]``.  The paper's Equation (1):
+
+    MR(m) = 1 - sum_{i<=m} Hit[i] / (sum_i Hit[i] + Hit[inf])
+
+Stack distances are computed in ``O(N log N)`` with a Fenwick tree over
+access timestamps (the classical reuse-distance trick), instead of the
+``O(N * depth)`` naive linked-list walk.
+
+Two parameters summarise a curve (paper §3.3):
+
+* **total memory needed** — the smaller of the server's memory and the size
+  at which the miss ratio bottoms out (only cold misses remain); the miss
+  ratio there is the **ideal miss ratio**;
+* **acceptable memory needed** — the smallest size whose miss ratio is
+  within a fixed threshold of the ideal; its miss ratio is the **acceptable
+  miss ratio**.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FenwickTree",
+    "stack_distances",
+    "MissRatioCurve",
+    "MRCParameters",
+    "MRCTracker",
+]
+
+DEFAULT_ACCEPTABLE_THRESHOLD = 0.05
+"""Acceptable miss ratio = ideal miss ratio + this threshold (paper §3.3;
+the paper leaves the constant unspecified — 0.05 places the acceptable
+memory at the knee of both convex and nearly flat curves)."""
+
+
+class FenwickTree:
+    """A binary indexed tree over ``size`` slots supporting point update
+    and prefix sum, used to count still-live last-access markers."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative: {size}")
+        self.size = size
+        self._tree = np.zeros(size + 1, dtype=np.int64)
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` at 0-based ``index``."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} outside [0, {self.size})")
+        i = index + 1
+        while i <= self.size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, count: int) -> int:
+        """Sum of the first ``count`` slots (0-based exclusive bound)."""
+        if count < 0:
+            raise IndexError(f"count must be non-negative: {count}")
+        count = min(count, self.size)
+        total = 0
+        i = count
+        while i > 0:
+            total += int(self._tree[i])
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, start: int, stop: int) -> int:
+        """Sum of slots in ``[start, stop)``."""
+        if start > stop:
+            raise IndexError(f"invalid range [{start}, {stop})")
+        return self.prefix_sum(stop) - self.prefix_sum(start)
+
+
+def stack_distances(trace: Sequence[int] | np.ndarray) -> np.ndarray:
+    """LRU stack distance of every reference in ``trace``.
+
+    A distance of ``d`` means the page sat at depth ``d`` (1-based) in the
+    LRU stack, i.e. a pool of ``>= d`` pages would have hit.  First-ever
+    references get distance 0 (the cold-miss marker).
+    """
+    pages = np.asarray(trace, dtype=np.int64)
+    n = len(pages)
+    distances = np.zeros(n, dtype=np.int64)
+    tree = FenwickTree(n)
+    last_seen: dict[int, int] = {}
+    for i in range(n):
+        page = int(pages[i])
+        prev = last_seen.get(page)
+        if prev is None:
+            distances[i] = 0
+        else:
+            # Distinct pages touched strictly after prev, plus the page itself.
+            distances[i] = tree.range_sum(prev + 1, i) + 1
+            tree.add(prev, -1)
+        tree.add(i, 1)
+        last_seen[page] = i
+    return distances
+
+
+class MissRatioCurve:
+    """The full MR(m) function of one page trace."""
+
+    def __init__(self, hit_counts: np.ndarray, cold_misses: int) -> None:
+        """``hit_counts[d]`` (1-based ``d``; index 0 unused) is Hit[d]."""
+        self._hits = np.asarray(hit_counts, dtype=np.int64)
+        self.cold_misses = int(cold_misses)
+        self.total_accesses = int(self._hits.sum()) + self.cold_misses
+        self._cumulative = np.cumsum(self._hits)
+
+    @classmethod
+    def from_trace(cls, trace: Sequence[int] | np.ndarray) -> "MissRatioCurve":
+        """Run Mattson's algorithm over ``trace`` and build the curve."""
+        distances = stack_distances(trace)
+        cold = int(np.count_nonzero(distances == 0))
+        warm = distances[distances > 0]
+        max_depth = int(warm.max()) if len(warm) else 0
+        hits = np.bincount(warm, minlength=max_depth + 1)
+        return cls(hits, cold)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest stack distance observed (the trace's reuse footprint)."""
+        return len(self._hits) - 1
+
+    def hits_at(self, memory_pages: int) -> int:
+        """Hits a pool of ``memory_pages`` would have served on this trace."""
+        if memory_pages < 0:
+            raise ValueError(f"memory size must be non-negative: {memory_pages}")
+        if memory_pages == 0 or self.total_accesses == 0:
+            return 0
+        index = min(memory_pages, self.max_depth)
+        return int(self._cumulative[index]) if index >= 1 else 0
+
+    def miss_ratio(self, memory_pages: int) -> float:
+        """MR(m): predicted miss ratio with ``memory_pages`` of memory."""
+        if self.total_accesses == 0:
+            return 0.0
+        return 1.0 - self.hits_at(memory_pages) / self.total_accesses
+
+    def curve(self, sizes: Iterable[int]) -> list[tuple[int, float]]:
+        """(size, miss ratio) samples for plotting or reporting."""
+        return [(size, self.miss_ratio(size)) for size in sizes]
+
+    @property
+    def minimum_miss_ratio(self) -> float:
+        """Miss ratio once every reuse is captured (cold misses only)."""
+        return self.miss_ratio(self.max_depth)
+
+    def parameters(
+        self,
+        server_memory_pages: int,
+        acceptable_threshold: float = DEFAULT_ACCEPTABLE_THRESHOLD,
+        flatness_epsilon: float = 1e-6,
+    ) -> "MRCParameters":
+        """Derive the paper's two MRC parameters for this curve."""
+        if server_memory_pages <= 0:
+            raise ValueError(
+                f"server memory must be positive: {server_memory_pages}"
+            )
+        if acceptable_threshold < 0:
+            raise ValueError(
+                f"acceptable threshold must be non-negative: {acceptable_threshold}"
+            )
+        floor = self.minimum_miss_ratio
+        saturation = self._smallest_size_with_ratio(floor + flatness_epsilon)
+        total_memory = min(server_memory_pages, saturation)
+        ideal = self.miss_ratio(total_memory)
+        acceptable_memory = self._smallest_size_with_ratio(
+            ideal + acceptable_threshold
+        )
+        acceptable_memory = min(acceptable_memory, total_memory)
+        return MRCParameters(
+            total_memory=total_memory,
+            ideal_miss_ratio=ideal,
+            acceptable_memory=acceptable_memory,
+            acceptable_miss_ratio=self.miss_ratio(acceptable_memory),
+            threshold=acceptable_threshold,
+        )
+
+    def _smallest_size_with_ratio(self, target: float) -> int:
+        """Smallest m with MR(m) <= target (binary search on hits)."""
+        if self.total_accesses == 0:
+            return 1
+        needed_hits = (1.0 - target) * self.total_accesses
+        # cumulative hits are non-decreasing in m; find first index meeting it
+        index = int(np.searchsorted(self._cumulative, needed_hits - 1e-9, side="left"))
+        return max(1, min(index, self.max_depth) if self.max_depth else 1)
+
+
+@dataclass(frozen=True)
+class MRCParameters:
+    """The two sizes and two ratios the diagnosis algorithm consumes."""
+
+    total_memory: int
+    ideal_miss_ratio: float
+    acceptable_memory: int
+    acceptable_miss_ratio: float
+    threshold: float = DEFAULT_ACCEPTABLE_THRESHOLD
+
+    def significantly_differs_from(
+        self,
+        other: "MRCParameters",
+        relative: float = 0.25,
+        min_absolute_pages: int = 256,
+    ) -> bool:
+        """Whether memory needs changed enough to suspect this class.
+
+        The paper recomputes a problem class's MRC and keeps it suspect when
+        "the parameters of the MRC curve show a significantly higher total
+        memory need"; we flag a relative change of ``relative`` or more in
+        either parameter, in either direction (a *flatter* curve — lower
+        acceptable memory — also signals an access-pattern change, as in the
+        index-drop scenario).  Tiny working sets quantise coarsely, so the
+        change must also clear ``min_absolute_pages`` — a 40-page jitter in
+        a 100-page class is noise, not a plan change.
+        """
+        if relative < 0:
+            raise ValueError(f"relative threshold must be non-negative: {relative}")
+
+        def significant(new: int, old: int) -> bool:
+            diff = abs(new - old)
+            return diff >= relative * max(old, 1) and diff >= min_absolute_pages
+
+        return significant(self.total_memory, other.total_memory) or significant(
+            self.acceptable_memory, other.acceptable_memory
+        )
+
+
+class MRCTracker:
+    """Per-query-context MRC bookkeeping.
+
+    MRCs are computed when a class is first scheduled and are *not*
+    recomputed unless an SLA violation occurs and the class's memory
+    counters show outliers (paper §3.3) — recomputation is the expensive
+    step this laziness is protecting.
+    """
+
+    def __init__(
+        self,
+        server_memory_pages: int,
+        acceptable_threshold: float = DEFAULT_ACCEPTABLE_THRESHOLD,
+    ) -> None:
+        if server_memory_pages <= 0:
+            raise ValueError(
+                f"server memory must be positive: {server_memory_pages}"
+            )
+        self.server_memory_pages = server_memory_pages
+        self.acceptable_threshold = acceptable_threshold
+        self._curves: dict[str, MissRatioCurve] = {}
+        self._parameters: dict[str, MRCParameters] = {}
+        self.recomputations = 0
+
+    def has(self, context_key: str) -> bool:
+        return context_key in self._parameters
+
+    def compute(
+        self, context_key: str, trace: Sequence[int] | np.ndarray
+    ) -> MRCParameters:
+        """(Re)compute the curve of ``context_key`` from a page trace."""
+        curve = MissRatioCurve.from_trace(trace)
+        params = curve.parameters(
+            self.server_memory_pages, self.acceptable_threshold
+        )
+        self._curves[context_key] = curve
+        self._parameters[context_key] = params
+        self.recomputations += 1
+        return params
+
+    def store(
+        self, context_key: str, curve: MissRatioCurve, params: MRCParameters
+    ) -> None:
+        """Record an externally computed curve (counts as a recomputation)."""
+        self._curves[context_key] = curve
+        self._parameters[context_key] = params
+        self.recomputations += 1
+
+    def parameters_of(self, context_key: str) -> MRCParameters:
+        try:
+            return self._parameters[context_key]
+        except KeyError:
+            raise KeyError(f"no MRC recorded for context {context_key!r}") from None
+
+    def curve_of(self, context_key: str) -> MissRatioCurve:
+        try:
+            return self._curves[context_key]
+        except KeyError:
+            raise KeyError(f"no MRC recorded for context {context_key!r}") from None
+
+    def forget(self, context_key: str) -> None:
+        self._curves.pop(context_key, None)
+        self._parameters.pop(context_key, None)
+
+    def contexts(self) -> list[str]:
+        return sorted(self._parameters)

@@ -1,0 +1,231 @@
+"""Outlier context detection — the paper's central statistical step.
+
+Upon an application-level SLA violation, for each server running the
+application (paper §3.3.1):
+
+1. divide each query class's current metric value by its last recorded
+   stable average,
+2. multiply by the class's *weight* for that metric — the metric value
+   normalised to the least value across all classes for the same metric —
+   giving the **metric impact value** (a change matters more in a query
+   that is heavyweight for that metric),
+3. run classic IQR fences over the impact values of all classes:
+   values outside ``[Q1 - 1.5*IQR, Q3 + 1.5*IQR]`` (the inner fence) are
+   **mild** outliers, values outside ``[Q1 - 3*IQR, Q3 + 3*IQR]`` (the
+   outer fence) are **extreme** outliers.
+
+Query contexts containing any outlier metric are the *outlier contexts*
+driving diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from .metrics import MEMORY_METRICS, Metric, MetricVector
+
+__all__ = [
+    "Severity",
+    "Fences",
+    "OutlierPoint",
+    "OutlierReport",
+    "compute_weights",
+    "compute_impact_values",
+    "iqr_fences",
+    "detect_outliers",
+    "top_k_heavyweight",
+]
+
+
+class Severity(str, Enum):
+    """Outlier severity per the inner/outer IQR fences."""
+
+    MILD = "mild"
+    EXTREME = "extreme"
+
+
+@dataclass(frozen=True)
+class Fences:
+    """IQR fences of one metric's impact-value distribution."""
+
+    q1: float
+    q3: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def inner(self) -> tuple[float, float]:
+        return (self.q1 - 1.5 * self.iqr, self.q3 + 1.5 * self.iqr)
+
+    @property
+    def outer(self) -> tuple[float, float]:
+        return (self.q1 - 3.0 * self.iqr, self.q3 + 3.0 * self.iqr)
+
+    def classify(self, value: float) -> Severity | None:
+        """Severity of ``value``, or ``None`` when inside the inner fence."""
+        outer_low, outer_high = self.outer
+        if value < outer_low or value > outer_high:
+            return Severity.EXTREME
+        inner_low, inner_high = self.inner
+        if value < inner_low or value > inner_high:
+            return Severity.MILD
+        return None
+
+
+@dataclass(frozen=True)
+class OutlierPoint:
+    """One outlier metric impact value in one query context."""
+
+    context_key: str
+    metric: Metric
+    impact: float
+    severity: Severity
+
+
+@dataclass
+class OutlierReport:
+    """Everything the detector produced for one (server, application) pair."""
+
+    points: list[OutlierPoint] = field(default_factory=list)
+    impacts: dict[Metric, dict[str, float]] = field(default_factory=dict)
+    fences: dict[Metric, Fences] = field(default_factory=dict)
+
+    def outlier_contexts(self) -> list[str]:
+        """Contexts containing at least one outlier metric, sorted."""
+        return sorted({point.context_key for point in self.points})
+
+    def memory_outlier_contexts(self) -> list[str]:
+        """Contexts whose outliers include a memory-related counter."""
+        return sorted(
+            {
+                point.context_key
+                for point in self.points
+                if point.metric in MEMORY_METRICS
+            }
+        )
+
+    def points_for(self, context_key: str) -> list[OutlierPoint]:
+        return [p for p in self.points if p.context_key == context_key]
+
+    def severity_of(self, context_key: str) -> Severity | None:
+        """The worst severity observed in a context, if any."""
+        severities = {p.severity for p in self.points_for(context_key)}
+        if Severity.EXTREME in severities:
+            return Severity.EXTREME
+        if Severity.MILD in severities:
+            return Severity.MILD
+        return None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.points
+
+
+def compute_weights(
+    vectors: dict[str, MetricVector], metric: Metric
+) -> dict[str, float]:
+    """Per-context weight of ``metric``: value / least positive value.
+
+    "Weights are assigned per metric by normalizing each metric value to the
+    least value across all queries for the same metric" — a query whose
+    contribution to, say, total page accesses is high gets a high weight.
+    Zero-valued contexts get weight 0 (a change in a metric the query never
+    exercises carries no impact).
+    """
+    values = {key: vector.get(metric) for key, vector in vectors.items()}
+    positive = [v for v in values.values() if v > 0]
+    if not positive:
+        return {key: 0.0 for key in values}
+    least = min(positive)
+    return {key: (value / least if value > 0 else 0.0) for key, value in values.items()}
+
+
+def compute_impact_values(
+    current: dict[str, MetricVector],
+    stable: dict[str, MetricVector],
+    metric: Metric,
+) -> dict[str, float]:
+    """Metric impact value per context: (current / stable) * weight.
+
+    Contexts with no stable signature are skipped here — the diagnosis layer
+    treats brand-new classes as problem classes directly (paper §3.3.2).
+    """
+    weights = compute_weights(current, metric)
+    impacts: dict[str, float] = {}
+    for key, vector in current.items():
+        baseline = stable.get(key)
+        if baseline is None or metric not in vector.values:
+            continue
+        impacts[key] = vector.ratio_to(baseline)[metric] * weights[key]
+    return impacts
+
+
+def iqr_fences(values: list[float]) -> Fences:
+    """First/third quartiles of ``values`` (linear-interpolation quartiles)."""
+    if not values:
+        raise ValueError("cannot compute fences of an empty sample")
+    data = np.asarray(values, dtype=float)
+    q1, q3 = np.percentile(data, [25.0, 75.0])
+    return Fences(q1=float(q1), q3=float(q3))
+
+
+def detect_outliers(
+    current: dict[str, MetricVector],
+    stable: dict[str, MetricVector],
+    metrics: tuple[Metric, ...] | None = None,
+    min_population: int = 4,
+) -> OutlierReport:
+    """Run the full detection pipeline over every requested metric.
+
+    ``min_population`` guards degenerate fences: with fewer than four
+    contexts the quartiles carry no information and everything (or nothing)
+    would be fenced, so such metrics are skipped.
+    """
+    if metrics is None:
+        metrics = tuple(Metric)
+    report = OutlierReport()
+    for metric in metrics:
+        impacts = compute_impact_values(current, stable, metric)
+        if len(impacts) < min_population:
+            continue
+        fences = iqr_fences(list(impacts.values()))
+        report.impacts[metric] = impacts
+        report.fences[metric] = fences
+        for context_key in sorted(impacts):
+            severity = fences.classify(impacts[context_key])
+            if severity is not None:
+                report.points.append(
+                    OutlierPoint(
+                        context_key=context_key,
+                        metric=metric,
+                        impact=impacts[context_key],
+                        severity=severity,
+                    )
+                )
+    return report
+
+
+def top_k_heavyweight(
+    current: dict[str, MetricVector],
+    k: int,
+    metrics: tuple[Metric, ...] = MEMORY_METRICS,
+) -> list[str]:
+    """The k heaviest contexts by combined memory-metric weight.
+
+    The paper's fallback when no outlier contexts are found: "we use similar
+    algorithms as above on the top-k heavyweight queries in terms of memory
+    metrics".  Contexts are ranked by the sum of their per-metric weights.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive: {k}")
+    scores: dict[str, float] = {key: 0.0 for key in current}
+    for metric in metrics:
+        for key, weight in compute_weights(current, metric).items():
+            scores[key] += weight
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return [key for key, _ in ranked[:k]]

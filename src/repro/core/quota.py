@@ -1,0 +1,123 @@
+"""Memory-quota search for problem query classes (paper §3.3.2).
+
+For each server where MRC changes occurred, the heuristic decides between
+the two fine-grained memory actions:
+
+* **keep in place with a quota** — feasible when quotas can be found such
+  that every problem class *and* the rest of the co-located queries are
+  predicted (by their MRCs) to run at or below their acceptable miss ratios;
+* **reschedule to another replica** — taken when no such quotas exist.
+
+The search is iterative: every context starts at its *total* memory need,
+and problem contexts are shrunk toward their *acceptable* need, largest
+excess first, until the pool fits or all slack is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .mrc import MRCParameters
+
+__all__ = ["QuotaPlan", "placement_fits_totals", "find_quotas"]
+
+
+@dataclass
+class QuotaPlan:
+    """The outcome of a quota search on one server."""
+
+    feasible: bool
+    quotas: dict[str, int] = field(default_factory=dict)
+    shared_pages: int = 0
+    shortfall: int = 0
+
+    @property
+    def reserved_pages(self) -> int:
+        return sum(self.quotas.values())
+
+
+def placement_fits_totals(
+    contexts: dict[str, MRCParameters], pool_pages: int
+) -> bool:
+    """Whether the pool can meet the *total* memory need of every context.
+
+    When it can, no quota enforcement is necessary — the shared pool already
+    has room for every working set (paper: "we determine if the current
+    placement of query contexts can meet the total memory need of all query
+    contexts").
+    """
+    if pool_pages <= 0:
+        raise ValueError(f"pool size must be positive: {pool_pages}")
+    # Strictly less than: a context whose total-memory estimate is capped at
+    # the pool size is starving, not fitting.
+    return sum(params.total_memory for params in contexts.values()) < pool_pages
+
+
+def find_quotas(
+    problem_contexts: dict[str, MRCParameters],
+    other_contexts: dict[str, MRCParameters],
+    pool_pages: int,
+    min_quota: int = 1,
+) -> QuotaPlan:
+    """Search for per-problem-class quotas that keep everyone acceptable.
+
+    Problem classes receive dedicated partitions; the remaining classes share
+    the rest of the pool, which must cover the *sum* of their acceptable
+    memory needs.  Returns an infeasible plan (with the page shortfall) when
+    even the minimum allocation does not fit — the caller then reschedules
+    the top problem class to a different replica instead.
+
+    ``min_quota`` bounds every problem partition from below: scan-like
+    classes have near-zero acceptable memory by MRC (caching never helps a
+    one-pass scan) but still need a few hundred pages so their read-ahead
+    chunks fit in their own partition.
+    """
+    if pool_pages <= 0:
+        raise ValueError(f"pool size must be positive: {pool_pages}")
+    if not problem_contexts:
+        raise ValueError("quota search needs at least one problem context")
+    if min_quota < 1:
+        raise ValueError(f"min quota must be at least one page: {min_quota}")
+
+    others_floor = sum(p.acceptable_memory for p in other_contexts.values())
+    floors = {
+        key: max(params.acceptable_memory, min_quota)
+        for key, params in problem_contexts.items()
+    }
+    # Start each problem class at its full (total) need, then shrink toward
+    # the acceptable need, taking pages from the largest remaining excess.
+    allocation = {
+        key: max(params.total_memory, floors[key])
+        for key, params in problem_contexts.items()
+    }
+
+    def overcommit() -> int:
+        return sum(allocation.values()) + others_floor - pool_pages
+
+    excess = overcommit()
+    while excess > 0:
+        shrinkable = sorted(
+            (key for key in allocation if allocation[key] > floors[key]),
+            key=lambda key: (floors[key] - allocation[key], key),
+        )
+        if not shrinkable:
+            break
+        key = shrinkable[0]
+        slack = allocation[key] - floors[key]
+        take = min(slack, excess)
+        allocation[key] -= take
+        excess -= take
+
+    if excess > 0:
+        return QuotaPlan(feasible=False, shortfall=excess)
+
+    shared = pool_pages - sum(allocation.values())
+    if shared <= 0:
+        # Quotas may not consume the entire pool: the shared partition needs
+        # at least one page.  Reclaim it from the largest quota if possible.
+        largest = max(allocation, key=lambda key: (allocation[key], key))
+        if allocation[largest] <= 1:
+            return QuotaPlan(feasible=False, shortfall=1 - shared)
+        allocation[largest] -= 1 - shared
+        shared = 1
+    return QuotaPlan(feasible=True, quotas=allocation, shared_pages=shared)

@@ -1,0 +1,83 @@
+"""Storage-engine substrate: pages, buffer pools, indexes, queries, logging."""
+
+from .access import (
+    AccessPattern,
+    CompositePattern,
+    ExecutionAccess,
+    IndexLookup,
+    IndexRangeScan,
+    PlanSwitchingPattern,
+    SequentialChunkScan,
+    UniformWorkingSet,
+    ZipfWorkingSet,
+)
+from .bufferpool import (
+    BufferPool,
+    LRUBufferPool,
+    PartitionedBufferPool,
+    PoolStats,
+    replay_trace,
+)
+from .engine import DEFAULT_POOL_PAGES, DatabaseEngine, EngineConfig
+from .executor import CostModel, QueryExecutor
+from .indexes import BTreeIndex, IndexCatalog
+from .locks import (
+    CompositeLockPattern,
+    LockGrant,
+    LockManager,
+    LockMode,
+    LockRequest,
+    LockStats,
+    RowGroupLockPattern,
+    WaitsForGraph,
+)
+from .pages import PAGE_SIZE_BYTES, PageRange, PageSpaceAllocator, pages_for_bytes
+from .query import QueryClass, QueryClassRegistry, QueryInstance, normalize_template
+from .statslog import ClassIntervalStats, EngineLog, ExecutionRecord, ThreadLogBuffer
+from .tables import Schema, Table
+
+__all__ = [
+    "AccessPattern",
+    "BTreeIndex",
+    "BufferPool",
+    "ClassIntervalStats",
+    "CompositePattern",
+    "CostModel",
+    "DEFAULT_POOL_PAGES",
+    "DatabaseEngine",
+    "EngineConfig",
+    "EngineLog",
+    "ExecutionAccess",
+    "ExecutionRecord",
+    "IndexCatalog",
+    "CompositeLockPattern",
+    "LockGrant",
+    "LockManager",
+    "LockMode",
+    "LockRequest",
+    "LockStats",
+    "IndexLookup",
+    "IndexRangeScan",
+    "LRUBufferPool",
+    "PAGE_SIZE_BYTES",
+    "PageRange",
+    "PageSpaceAllocator",
+    "PartitionedBufferPool",
+    "PlanSwitchingPattern",
+    "PoolStats",
+    "QueryClass",
+    "RowGroupLockPattern",
+    "WaitsForGraph",
+    "QueryClassRegistry",
+    "QueryExecutor",
+    "QueryInstance",
+    "Schema",
+    "SequentialChunkScan",
+    "Table",
+    "ThreadLogBuffer",
+    "UniformWorkingSet",
+    "ZipfWorkingSet",
+    "normalize_template",
+    "pages_for_bytes",
+    "replay_trace",
+]

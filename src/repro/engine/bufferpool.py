@@ -1,0 +1,261 @@
+"""Buffer-pool simulation: shared LRU pools and quota-partitioned pools.
+
+This is the component the paper's fine-grained memory actions manipulate.
+Two pool organisations are provided:
+
+* :class:`LRUBufferPool` — a single LRU-managed pool shared by every query
+  class on the engine (MySQL/InnoDB's default behaviour in the paper).
+* :class:`PartitionedBufferPool` — the paper's quota-enforcement mechanism:
+  a problem query class is pinned to a dedicated partition of fixed size and
+  everything else shares the remainder, each partition running its own LRU.
+
+Both organisations expose the same ``access`` / ``prefetch`` interface and
+keep per-query-class hit/miss/read-ahead counters, which is exactly the
+signal the outlier detector consumes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PoolStats",
+    "BufferPool",
+    "LRUBufferPool",
+    "PartitionedBufferPool",
+    "replay_trace",
+]
+
+
+@dataclass
+class PoolStats:
+    """Hit/miss/read-ahead counters, kept globally and per query class."""
+
+    hits: int = 0
+    misses: int = 0
+    readaheads: int = 0
+    per_class: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def _bucket(self, query_class: str) -> dict[str, int]:
+        if query_class not in self.per_class:
+            self.per_class[query_class] = {"hits": 0, "misses": 0, "readaheads": 0}
+        return self.per_class[query_class]
+
+    def record_hit(self, query_class: str) -> None:
+        self.hits += 1
+        self._bucket(query_class)["hits"] += 1
+
+    def record_miss(self, query_class: str) -> None:
+        self.misses += 1
+        self._bucket(query_class)["misses"] += 1
+
+    def record_readahead(self, query_class: str, count: int = 1) -> None:
+        self.readaheads += count
+        self._bucket(query_class)["readaheads"] += count
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Overall hit ratio; 1.0 on an untouched pool by convention."""
+        return self.hits / self.accesses if self.accesses else 1.0
+
+    @property
+    def miss_ratio(self) -> float:
+        return 1.0 - self.hit_ratio
+
+    def class_hit_ratio(self, query_class: str) -> float:
+        bucket = self.per_class.get(query_class)
+        if not bucket:
+            return 1.0
+        total = bucket["hits"] + bucket["misses"]
+        return bucket["hits"] / total if total else 1.0
+
+    def class_misses(self, query_class: str) -> int:
+        bucket = self.per_class.get(query_class)
+        return bucket["misses"] if bucket else 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.readaheads = 0
+        self.per_class.clear()
+
+
+class BufferPool:
+    """Common interface of every pool organisation."""
+
+    capacity: int
+    stats: PoolStats
+
+    def access(self, page_id: int, query_class: str = "") -> bool:
+        """Reference one page; returns ``True`` on a hit."""
+        raise NotImplementedError
+
+    def prefetch(self, page_ids: Iterable[int], query_class: str = "") -> int:
+        """Read-ahead: load pages without counting demand misses.
+
+        Returns the number of pages actually fetched from storage (pages
+        already resident are skipped).  Each fetched page is one I/O block
+        request and one read-ahead request in the per-class counters.
+        """
+        raise NotImplementedError
+
+    def resident(self, page_id: int) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class LRUBufferPool(BufferPool):
+    """A fixed-capacity page cache with strict LRU replacement.
+
+    LRU obeys Mattson's inclusion property, which is what lets the MRC
+    tracker predict this pool's miss ratio at any capacity from one pass
+    over the trace.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"buffer pool capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.stats = PoolStats()
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def resident(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def access(self, page_id: int, query_class: str = "") -> bool:
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self.stats.record_hit(query_class)
+            return True
+        self._admit(page_id)
+        self.stats.record_miss(query_class)
+        return False
+
+    def prefetch(self, page_ids: Iterable[int], query_class: str = "") -> int:
+        fetched = 0
+        for page_id in page_ids:
+            if page_id in self._pages:
+                continue
+            self._admit(page_id)
+            fetched += 1
+        if fetched:
+            self.stats.record_readahead(query_class, fetched)
+        return fetched
+
+    def _admit(self, page_id: int) -> None:
+        while len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+        self._pages[page_id] = None
+
+    def lru_order(self) -> list[int]:
+        """Resident page ids from least to most recently used."""
+        return list(self._pages.keys())
+
+    def evict_all(self) -> None:
+        self._pages.clear()
+
+
+class PartitionedBufferPool(BufferPool):
+    """A pool split into named LRU partitions with fixed page quotas.
+
+    Query classes are routed to a partition by an explicit assignment map;
+    unassigned classes share the ``default`` partition.  This is the paper's
+    quota-enforcement action: the problem class gets a dedicated partition
+    sized by the quota-search algorithm, so its scan-like traffic can no
+    longer evict the rest of the application's working set.
+    """
+
+    DEFAULT = "default"
+
+    def __init__(self, capacity: int, quotas: dict[str, int] | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"buffer pool capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.stats = PoolStats()
+        self._partitions: dict[str, LRUBufferPool] = {}
+        self._assignment: dict[str, str] = {}
+        quotas = dict(quotas) if quotas else {}
+        reserved = sum(quotas.values())
+        if reserved >= capacity:
+            raise ValueError(
+                f"quotas reserve {reserved} pages of a {capacity}-page pool, "
+                "leaving nothing for the default partition"
+            )
+        for name, quota in quotas.items():
+            if name == self.DEFAULT:
+                raise ValueError("the default partition is sized implicitly")
+            self._partitions[name] = LRUBufferPool(quota)
+        self._partitions[self.DEFAULT] = LRUBufferPool(capacity - reserved)
+
+    @property
+    def partition_names(self) -> list[str]:
+        return list(self._partitions.keys())
+
+    def quota_of(self, partition: str) -> int:
+        return self._partitions[partition].capacity
+
+    def assign(self, query_class: str, partition: str) -> None:
+        """Route every access of ``query_class`` to ``partition``."""
+        if partition not in self._partitions:
+            raise KeyError(f"no partition named {partition!r}")
+        self._assignment[query_class] = partition
+
+    def partition_for(self, query_class: str) -> str:
+        return self._assignment.get(query_class, self.DEFAULT)
+
+    def _pool_for(self, query_class: str) -> LRUBufferPool:
+        return self._partitions[self.partition_for(query_class)]
+
+    def __len__(self) -> int:
+        return sum(len(pool) for pool in self._partitions.values())
+
+    def resident(self, page_id: int) -> bool:
+        return any(pool.resident(page_id) for pool in self._partitions.values())
+
+    def access(self, page_id: int, query_class: str = "") -> bool:
+        hit = self._pool_for(query_class).access(page_id, query_class)
+        if hit:
+            self.stats.record_hit(query_class)
+        else:
+            self.stats.record_miss(query_class)
+        return hit
+
+    def prefetch(self, page_ids: Iterable[int], query_class: str = "") -> int:
+        fetched = self._pool_for(query_class).prefetch(page_ids, query_class)
+        if fetched:
+            self.stats.record_readahead(query_class, fetched)
+        return fetched
+
+    def partition_stats(self, partition: str) -> PoolStats:
+        return self._partitions[partition].stats
+
+
+def replay_trace(
+    pool: BufferPool,
+    pages: Iterable[int],
+    query_class: str = "",
+    classes: Iterable[str] | None = None,
+) -> PoolStats:
+    """Drive ``pool`` with a page trace and return the pool's stats object.
+
+    When ``classes`` is given it must parallel ``pages`` and supplies the
+    per-access query-class tag (for interleaved multi-class traces).
+    """
+    if classes is None:
+        for page_id in pages:
+            pool.access(page_id, query_class)
+    else:
+        for page_id, cls in zip(pages, classes):
+            pool.access(page_id, cls)
+    return pool.stats

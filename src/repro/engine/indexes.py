@@ -1,0 +1,173 @@
+"""B+-tree index model.
+
+Indexes matter to the reproduction for one reason: the paper's Figure 4/5
+experiment drops the ``O_DATE`` index and the BestSeller query degenerates
+from a handful of index-page touches per execution into a scan-like access
+pattern with a flat miss-ratio curve.  The model therefore captures exactly
+the properties that shape page traces:
+
+* tree height as a function of entry count and fan-out,
+* the page path of a point lookup (root → internals → leaf), and
+* leaf-range traversal for range predicates.
+
+Internal pages are few and extremely hot (they sit at the top of any LRU
+stack); leaf pages are as numerous as the data demands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .pages import PageRange, PageSpaceAllocator
+from .tables import Table
+
+__all__ = ["BTreeIndex", "IndexCatalog"]
+
+
+@dataclass
+class BTreeIndex:
+    """A B+-tree over one table keyed by row number (a synthetic key)."""
+
+    name: str
+    table: Table
+    fanout: int
+    leaf_entries: int
+    height: int
+    internal_pages: PageRange
+    leaf_pages: PageRange
+
+    @classmethod
+    def create(
+        cls,
+        allocator: PageSpaceAllocator,
+        name: str,
+        table: Table,
+        fanout: int = 200,
+        leaf_entries: int = 400,
+    ) -> "BTreeIndex":
+        """Size and allocate the tree for ``table.row_count`` entries."""
+        if fanout < 2:
+            raise ValueError(f"index fan-out must be at least 2: {fanout}")
+        if leaf_entries < 1:
+            raise ValueError(f"leaf entry count must be positive: {leaf_entries}")
+        leaf_count = max(1, -(-table.row_count // leaf_entries))
+        # Count internal levels until a single root fits.
+        internal_count = 0
+        level_pages = leaf_count
+        height = 1
+        while level_pages > 1:
+            level_pages = -(-level_pages // fanout)
+            internal_count += level_pages
+            height += 1
+        internal_count = max(1, internal_count)
+        internal_range = allocator.allocate(f"index:{name}:internal", internal_count)
+        leaf_range = allocator.allocate(f"index:{name}:leaf", leaf_count)
+        return cls(
+            name=name,
+            table=table,
+            fanout=fanout,
+            leaf_entries=leaf_entries,
+            height=height,
+            internal_pages=internal_range,
+            leaf_pages=leaf_range,
+        )
+
+    @property
+    def leaf_count(self) -> int:
+        return self.leaf_pages.count
+
+    def leaf_of_row(self, row: int) -> int:
+        """The leaf page id covering logical row ``row``."""
+        if not 0 <= row < self.table.row_count:
+            raise IndexError(f"row {row} outside table {self.table.name!r}")
+        leaf_index = min(row // self.leaf_entries, self.leaf_count - 1)
+        return self.leaf_pages.page(leaf_index)
+
+    def lookup_path(self, row: int) -> list[int]:
+        """Page ids touched by a point lookup: root, internals, leaf.
+
+        The internal pages visited are deterministic in the row number, so
+        repeated lookups of the same key touch identical pages — the property
+        that makes index traffic cache-friendly.
+        """
+        leaf_index = min(row // self.leaf_entries, self.leaf_count - 1)
+        path: list[int] = []
+        # Walk conceptual levels top-down; level L has ceil(leaves / fanout^L)
+        # pages laid out consecutively after the previous levels.
+        level_sizes: list[int] = []
+        size = self.leaf_count
+        while size > 1:
+            size = -(-size // self.fanout)
+            level_sizes.append(size)
+        # level_sizes is bottom-up (parents of leaves first); visit top-down.
+        offset_base = 0
+        offsets: list[int] = []
+        for size in reversed(level_sizes):
+            stride = max(1, self.leaf_count // size)
+            offsets.append(offset_base + min(leaf_index // stride, size - 1))
+            offset_base += size
+        if not offsets:
+            offsets = [0]  # single-page tree: the root is the only internal page
+        path.extend(
+            self.internal_pages.page(min(o, self.internal_pages.count - 1))
+            for o in offsets
+        )
+        path.append(self.leaf_of_row(row))
+        return path
+
+    def range_path(self, start_row: int, row_span: int) -> list[int]:
+        """Pages touched by a leaf-level range scan of ``row_span`` rows."""
+        if row_span <= 0:
+            raise ValueError(f"range span must be positive: {row_span}")
+        path = self.lookup_path(start_row)
+        first_leaf = min(start_row // self.leaf_entries, self.leaf_count - 1)
+        last_row = min(start_row + row_span - 1, self.table.row_count - 1)
+        last_leaf = min(last_row // self.leaf_entries, self.leaf_count - 1)
+        for leaf_index in range(first_leaf + 1, last_leaf + 1):
+            path.append(self.leaf_pages.page(leaf_index))
+        return path
+
+    def expected_lookup_pages(self) -> int:
+        """Pages per point lookup (tree height, incl. the leaf)."""
+        return self.height
+
+
+class IndexCatalog:
+    """The set of indexes available to an engine; supports online drop/add.
+
+    Dropping an index is the fault-injection hook for the Figure 4
+    experiment: query classes that relied on it fall back to scans.
+    """
+
+    def __init__(self) -> None:
+        self._indexes: dict[str, BTreeIndex] = {}
+        self._dropped: set[str] = set()
+
+    def add(self, index: BTreeIndex) -> None:
+        if index.name in self._indexes:
+            raise ValueError(f"index {index.name!r} already registered")
+        self._indexes[index.name] = index
+
+    def drop(self, name: str) -> None:
+        """Mark ``name`` dropped; lookups now report it unavailable."""
+        if name not in self._indexes:
+            raise KeyError(f"no index named {name!r}")
+        self._dropped.add(name)
+
+    def restore(self, name: str) -> None:
+        """Undo a drop (models re-creating the index)."""
+        self._dropped.discard(name)
+
+    def available(self, name: str) -> bool:
+        return name in self._indexes and name not in self._dropped
+
+    def get(self, name: str) -> BTreeIndex:
+        """The index object regardless of drop state (for re-creation)."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise KeyError(f"no index named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._indexes)

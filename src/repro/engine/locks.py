@@ -1,0 +1,334 @@
+"""Two-phase-locking substrate with per-class wait accounting.
+
+The paper closes by naming lock contention and deadlocks as the next
+anomalies its outlier detection should narrow down ("invoking a query with
+the wrong arguments, lock contention or deadlock situations").  This module
+provides the substrate that makes those anomalies observable:
+
+* a :class:`LockManager` granting shared/exclusive locks on row groups,
+  with lock holds bounded in *simulated time* — an execution at time ``t``
+  holds its locks until ``t + latency``, so a later execution that touches
+  the same rows inside that window genuinely waits;
+* per-query-class counters (lock waits, total wait time, conflicts) that
+  feed the same metric pipeline as the buffer-pool counters; and
+* a class-level *waits-for graph* with cycle detection, which is how the
+  diagnosis layer spots deadlock-prone class pairs.
+
+Lock granularity is the *row group* (a contiguous range of row ids mapped
+to a single lockable unit), which keeps the lock table small while
+preserving the conflict structure: a class that locks broad ranges (the
+"wrong arguments" scenario — e.g. an unqualified UPDATE) collides with
+everything touching the same table.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = [
+    "LockMode",
+    "LockRequest",
+    "LockGrant",
+    "LockStats",
+    "LockManager",
+    "CompositeLockPattern",
+    "RowGroupLockPattern",
+    "WaitsForGraph",
+]
+
+
+class LockMode(str, Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def conflicts_with(self, other: "LockMode") -> bool:
+        """S/S is the only compatible combination."""
+        return not (self is LockMode.SHARED and other is LockMode.SHARED)
+
+
+@dataclass(frozen=True)
+class LockRequest:
+    """One class's lock demand for one execution."""
+
+    resource: tuple[str, int]  # (table name, row-group id)
+    mode: LockMode
+
+
+@dataclass(frozen=True)
+class LockGrant:
+    """The outcome of acquiring one execution's lock set."""
+
+    wait_time: float
+    conflicts: tuple[tuple[str, str], ...] = ()  # (blocked class, holder class)
+
+    @property
+    def waited(self) -> bool:
+        return self.wait_time > 0.0
+
+
+@dataclass
+class LockStats:
+    """Per-class lock accounting over one measurement interval."""
+
+    acquisitions: int = 0
+    waits: int = 0
+    total_wait_time: float = 0.0
+    conflicts: dict[str, int] = field(default_factory=dict)
+
+    def record(self, grant: LockGrant) -> None:
+        self.acquisitions += 1
+        if grant.waited:
+            self.waits += 1
+            self.total_wait_time += grant.wait_time
+        for _, holder in grant.conflicts:
+            self.conflicts[holder] = self.conflicts.get(holder, 0) + 1
+
+    @property
+    def mean_wait(self) -> float:
+        return self.total_wait_time / self.waits if self.waits else 0.0
+
+
+@dataclass(order=True)
+class _Hold:
+    release_time: float
+    resource: tuple[str, int] = field(compare=False)
+    mode: LockMode = field(compare=False)
+    owner: str = field(compare=False)
+
+
+class LockManager:
+    """Grants lock sets against holds bounded in simulated time.
+
+    ``acquire(owner, requests, now, hold_for)`` releases every hold that
+    expired before ``now``, computes how long the new owner must wait for
+    conflicting holds to drain (the max over its conflicting resources —
+    waits overlap), then installs the new holds from the post-wait instant.
+    """
+
+    def __init__(self) -> None:
+        self._holds: dict[tuple[str, int], list[_Hold]] = defaultdict(list)
+        self._expiry: list[_Hold] = []  # min-heap by release time
+        self.stats: dict[str, LockStats] = defaultdict(LockStats)
+        self.waits_for = WaitsForGraph()
+
+    def _expire(self, now: float) -> None:
+        while self._expiry and self._expiry[0].release_time <= now:
+            hold = heapq.heappop(self._expiry)
+            holders = self._holds.get(hold.resource)
+            if holders:
+                try:
+                    holders.remove(hold)
+                except ValueError:
+                    pass
+                if not holders:
+                    del self._holds[hold.resource]
+
+    def acquire(
+        self,
+        owner: str,
+        requests: list[LockRequest],
+        now: float,
+        hold_for: float,
+    ) -> LockGrant:
+        """Acquire ``requests`` for ``owner`` at simulated time ``now``.
+
+        Returns the grant with the wait this execution incurred.  Holds are
+        installed for ``hold_for`` simulated seconds *after* the wait — the
+        strict-2PL "hold until commit" behaviour.
+        """
+        if hold_for < 0:
+            raise ValueError(f"hold duration must be non-negative: {hold_for}")
+        self._expire(now)
+        wait_until = now
+        conflicts: list[tuple[str, str]] = []
+        for request in requests:
+            for hold in self._holds.get(request.resource, ()):
+                if hold.owner == owner:
+                    continue  # re-entrant: the class already holds it
+                if request.mode.conflicts_with(hold.mode):
+                    if hold.release_time > wait_until:
+                        wait_until = hold.release_time
+                    conflicts.append((owner, hold.owner))
+                    self.waits_for.add_edge(owner, hold.owner)
+        wait_time = wait_until - now
+        release_time = wait_until + hold_for
+        for request in requests:
+            hold = _Hold(
+                release_time=release_time,
+                resource=request.resource,
+                mode=request.mode,
+                owner=owner,
+            )
+            self._holds[request.resource].append(hold)
+            heapq.heappush(self._expiry, hold)
+        grant = LockGrant(wait_time=wait_time, conflicts=tuple(conflicts))
+        self.stats[owner].record(grant)
+        return grant
+
+    def held_resources(self, now: float) -> int:
+        """Number of resources with at least one live hold."""
+        self._expire(now)
+        return len(self._holds)
+
+    def interval_snapshot(self) -> dict[str, LockStats]:
+        """Return and reset the per-class lock statistics."""
+        snapshot = dict(self.stats)
+        self.stats = defaultdict(LockStats)
+        return snapshot
+
+    def reset_waits_for(self) -> "WaitsForGraph":
+        graph = self.waits_for
+        self.waits_for = WaitsForGraph()
+        return graph
+
+
+class RowGroupLockPattern:
+    """A query class's lock demand: which row groups, in which mode.
+
+    ``groups_per_execution`` row groups are drawn Zipf-skewed from
+    ``group_count`` (hot rows conflict more, like real OLTP traffic); each
+    pick locks ``span`` consecutive groups.  The "wrong arguments" fault is
+    expressed as ``span == group_count``: one execution locks the entire
+    table, the behaviour of an UPDATE missing its WHERE clause.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        group_count: int,
+        mode: LockMode,
+        stream,
+        groups_per_execution: int = 1,
+        theta: float = 0.8,
+        span: int = 1,
+    ) -> None:
+        if group_count <= 0:
+            raise ValueError(f"group count must be positive: {group_count}")
+        if groups_per_execution <= 0:
+            raise ValueError("groups per execution must be positive")
+        if not 1 <= span <= group_count:
+            raise ValueError(f"span must be in [1, {group_count}]: {span}")
+        from ..sim.rng import ZipfGenerator
+
+        self.table = table
+        self.group_count = group_count
+        self.mode = mode
+        self.groups_per_execution = groups_per_execution
+        self.span = span
+        self._zipf = ZipfGenerator(group_count, theta, stream)
+
+    def requests(self) -> list[LockRequest]:
+        """The lock set of one execution."""
+        wanted: set[int] = set()
+        for _ in range(self.groups_per_execution):
+            start = self._zipf.sample()
+            for offset in range(self.span):
+                wanted.add((start + offset) % self.group_count)
+        return [
+            LockRequest(resource=(self.table, group), mode=self.mode)
+            for group in sorted(wanted)
+        ]
+
+
+class CompositeLockPattern:
+    """A multi-table transaction's lock demand: several patterns at once.
+
+    Multi-statement transactions lock rows in more than one table; the
+    composite simply unions its parts' lock sets.  Two classes locking the
+    same pair of tables produce the classic deadlock-prone shape the
+    waits-for graph exists to catch.
+    """
+
+    def __init__(self, parts: list) -> None:
+        if not parts:
+            raise ValueError("composite lock pattern needs at least one part")
+        self.parts = list(parts)
+
+    def requests(self) -> list[LockRequest]:
+        combined: dict[tuple[str, int], LockRequest] = {}
+        for part in self.parts:
+            for request in part.requests():
+                existing = combined.get(request.resource)
+                if existing is None or request.mode is LockMode.EXCLUSIVE:
+                    combined[request.resource] = request
+        return [combined[key] for key in sorted(combined)]
+
+
+class WaitsForGraph:
+    """Class-level waits-for edges with cycle detection.
+
+    Nodes are query-context keys; an edge ``a -> b`` means an execution of
+    ``a`` waited for locks held by ``b`` at least once this interval.  A
+    cycle marks a deadlock-prone class pair — the anomaly the paper's
+    future work wants to surface.
+    """
+
+    def __init__(self) -> None:
+        self._edges: dict[str, set[str]] = defaultdict(set)
+        self._weights: dict[tuple[str, str], int] = defaultdict(int)
+
+    def add_edge(self, waiter: str, holder: str) -> None:
+        if waiter == holder:
+            return
+        self._edges[waiter].add(holder)
+        self._weights[(waiter, holder)] += 1
+
+    def edges(self) -> list[tuple[str, str, int]]:
+        return sorted(
+            (waiter, holder, weight)
+            for (waiter, holder), weight in self._weights.items()
+        )
+
+    def successors(self, node: str) -> set[str]:
+        return set(self._edges.get(node, ()))
+
+    def find_cycles(self) -> list[list[str]]:
+        """All elementary cycles, each rotated to start at its min node."""
+        cycles: set[tuple[str, ...]] = set()
+        nodes = sorted(self._edges)
+
+        def walk(start: str, node: str, path: list[str], seen: set[str]) -> None:
+            for nxt in sorted(self._edges.get(node, ())):
+                if nxt == start:
+                    cycle = path[:]
+                    pivot = cycle.index(min(cycle))
+                    cycles.add(tuple(cycle[pivot:] + cycle[:pivot]))
+                elif nxt not in seen and nxt > start:
+                    # Only explore nodes ordered after `start`: each cycle is
+                    # found exactly once, rooted at its minimum node.
+                    walk(start, nxt, path + [nxt], seen | {nxt})
+
+        for node in nodes:
+            walk(node, node, [node], {node})
+        return sorted(list(cycle) for cycle in cycles)
+
+    @property
+    def has_cycle(self) -> bool:
+        # Iterative three-colour DFS (cheaper than enumerating cycles).
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[str, int] = defaultdict(int)
+        for root in self._edges:
+            if colour[root] != WHITE:
+                continue
+            stack: list[tuple[str, iter]] = [(root, iter(sorted(self._edges[root])))]
+            colour[root] = GREY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if colour[child] == GREY:
+                        return True
+                    if colour[child] == WHITE:
+                        colour[child] = GREY
+                        stack.append(
+                            (child, iter(sorted(self._edges.get(child, ()))))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return False

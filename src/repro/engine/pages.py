@@ -1,0 +1,105 @@
+"""Page-id spaces for the simulated storage engine.
+
+The engine addresses storage as fixed-size pages (16 KiB, matching InnoDB).
+Each table and each index receives a contiguous, non-overlapping range of
+page ids from a per-database :class:`PageSpaceAllocator`, so a page id alone
+identifies which object (and which database) it belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PAGE_SIZE_BYTES", "pages_for_bytes", "PageRange", "PageSpaceAllocator"]
+
+PAGE_SIZE_BYTES = 16 * 1024
+"""Bytes per page (InnoDB default)."""
+
+
+def pages_for_bytes(num_bytes: int) -> int:
+    """Number of pages needed to hold ``num_bytes`` (rounded up, at least 1)."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative: {num_bytes}")
+    return max(1, -(-num_bytes // PAGE_SIZE_BYTES))
+
+
+@dataclass(frozen=True)
+class PageRange:
+    """A contiguous, half-open range of page ids ``[start, start + count)``."""
+
+    name: str
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"page range {self.name!r} must be non-empty")
+        if self.start < 0:
+            raise ValueError(f"page range {self.name!r} has negative start")
+
+    @property
+    def end(self) -> int:
+        """One past the last page id."""
+        return self.start + self.count
+
+    def page(self, offset: int) -> int:
+        """The page id at ``offset`` within the range."""
+        if not 0 <= offset < self.count:
+            raise IndexError(
+                f"offset {offset} outside range {self.name!r} of {self.count} pages"
+            )
+        return self.start + offset
+
+    def contains(self, page_id: int) -> bool:
+        return self.start <= page_id < self.end
+
+    def slice(self, offset: int, count: int) -> list[int]:
+        """``count`` consecutive page ids starting at ``offset``, clipped."""
+        if offset < 0:
+            raise IndexError(f"negative offset {offset}")
+        stop = min(offset + count, self.count)
+        return list(range(self.start + offset, self.start + stop))
+
+
+class PageSpaceAllocator:
+    """Hands out non-overlapping :class:`PageRange` blocks.
+
+    Databases on different replicas use different allocator *bases* so that
+    page ids never collide across engines sharing a buffer-pool simulation.
+    """
+
+    def __init__(self, base: int = 0) -> None:
+        if base < 0:
+            raise ValueError(f"allocator base must be non-negative: {base}")
+        self._next = base
+        self._ranges: dict[str, PageRange] = {}
+
+    def allocate(self, name: str, count: int) -> PageRange:
+        """Allocate ``count`` pages under ``name``; names must be unique."""
+        if name in self._ranges:
+            raise ValueError(f"page range {name!r} already allocated")
+        page_range = PageRange(name=name, start=self._next, count=count)
+        self._next += count
+        self._ranges[name] = page_range
+        return page_range
+
+    def get(self, name: str) -> PageRange:
+        try:
+            return self._ranges[name]
+        except KeyError:
+            raise KeyError(f"no page range named {name!r}") from None
+
+    def owner_of(self, page_id: int) -> PageRange | None:
+        """The range containing ``page_id``, or ``None`` if unallocated."""
+        for page_range in self._ranges.values():
+            if page_range.contains(page_id):
+                return page_range
+        return None
+
+    @property
+    def total_pages(self) -> int:
+        """Total pages allocated so far."""
+        return sum(r.count for r in self._ranges.values())
+
+    def ranges(self) -> list[PageRange]:
+        return list(self._ranges.values())

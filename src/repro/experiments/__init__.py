@@ -1,0 +1,53 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from .ablations import (
+    PolicyOutcome,
+    run_coarse_vs_fine,
+    run_mrc_window_sensitivity,
+    run_quota_vs_reschedule,
+    run_routing_policies,
+    run_topk_vs_outliers,
+)
+from .buffer_partitioning import BufferPartitioningConfig, run_buffer_partitioning
+from .cpu_saturation import CPUSaturationConfig, run_cpu_saturation
+from .index_drop import IndexDropConfig, run_index_drop
+from .io_contention import IOContentionConfig, run_io_contention
+from .lock_contention import (
+    LockContentionConfig,
+    LockContentionResult,
+    run_lock_contention,
+)
+from .memory_contention import MemoryContentionConfig, run_memory_contention
+from .mrc_curves import (
+    run_fig5_bestseller,
+    run_fig5_bestseller_degraded,
+    run_fig6_search_items_by_region,
+)
+from .runner import ClusterHarness, HarnessResult
+
+__all__ = [
+    "BufferPartitioningConfig",
+    "CPUSaturationConfig",
+    "ClusterHarness",
+    "HarnessResult",
+    "IOContentionConfig",
+    "IndexDropConfig",
+    "LockContentionConfig",
+    "LockContentionResult",
+    "MemoryContentionConfig",
+    "PolicyOutcome",
+    "run_buffer_partitioning",
+    "run_coarse_vs_fine",
+    "run_cpu_saturation",
+    "run_fig5_bestseller",
+    "run_fig5_bestseller_degraded",
+    "run_fig6_search_items_by_region",
+    "run_index_drop",
+    "run_io_contention",
+    "run_lock_contention",
+    "run_memory_contention",
+    "run_mrc_window_sensitivity",
+    "run_quota_vs_reschedule",
+    "run_routing_policies",
+    "run_topk_vs_outliers",
+]

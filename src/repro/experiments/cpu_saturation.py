@@ -1,0 +1,91 @@
+"""§5.2 / Figure 3: alleviation of CPU saturation under a sinusoid load.
+
+TPC-W's emulated client population follows a sine function with random
+noise (Figure 3a).  As the population climbs, CPU utilisation on the single
+initial replica saturates, latency violates the SLA, and the reactive
+provisioning algorithm allocates additional replicas from the pool; all
+TPC-W query classes are load-balanced over the growing replica set
+(Figure 3b) and average latency drops back under the SLA (Figure 3c).
+When the load recedes, the controller releases replicas again, so the
+machine-allocation curve tracks the sine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.server import ServerSpec
+from ..core.controller import ControllerConfig
+from ..workloads.load import SineLoad
+from ..workloads.tpcw import build_tpcw
+from .index_drop import CPU_SCALE, EXPERIMENT_COST_MODEL, scale_cpu_costs
+from .results import CPUSaturationResult
+from .runner import ClusterHarness
+
+__all__ = ["CPUSaturationConfig", "run_cpu_saturation"]
+
+
+@dataclass(frozen=True)
+class CPUSaturationConfig:
+    """Tunables of the scenario."""
+
+    base_clients: int = 70
+    amplitude: int = 50
+    period: float = 600.0
+    noise: int = 5
+    intervals: int = 72
+    servers: int = 5
+    cores_per_server: int = 2
+    sla_latency: float = 1.0
+    seed: int = 7
+
+
+def run_cpu_saturation(
+    config: CPUSaturationConfig | None = None,
+) -> CPUSaturationResult:
+    """Run the Figure 3 scenario and collect the three series."""
+    config = config if config is not None else CPUSaturationConfig()
+    workload = build_tpcw(seed=config.seed)
+    scale_cpu_costs(workload, CPU_SCALE)
+    load = SineLoad(
+        base=config.base_clients,
+        amplitude=config.amplitude,
+        period=config.period,
+        noise=config.noise,
+        stream=workload.seeds.stream("sine-noise"),
+    )
+    harness = ClusterHarness.single_app(
+        workload,
+        servers=config.servers,
+        clients=load,
+        sla_latency=config.sla_latency,
+        server_spec=ServerSpec(cores=config.cores_per_server),
+        cost_model=EXPERIMENT_COST_MODEL,
+        config=ControllerConfig(
+            scale_down=True,
+            scale_down_cpu_threshold=0.35,
+            scale_down_patience=3,
+        ),
+    )
+
+    result = CPUSaturationResult(sla_latency=config.sla_latency)
+    scheduler = harness.scheduler(workload.app)
+    violations = 0
+    recovered = False
+    for _ in range(config.intervals):
+        start = harness.clock.now
+        result.load_series.append((start, load.clients_at(start)))
+        step = harness.run(intervals=1)
+        report = step.final_report(workload.app)
+        result.latency_series.append((report.timestamp, report.mean_latency))
+        result.allocation_series.append(
+            (report.timestamp, len(scheduler.replicas))
+        )
+        result.peak_replicas = max(result.peak_replicas, len(scheduler.replicas))
+        if not report.sla_met:
+            if not recovered:
+                violations += 1
+        elif violations:
+            recovered = True
+    result.violations_before_recovery = violations
+    return result

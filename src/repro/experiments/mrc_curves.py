@@ -1,0 +1,103 @@
+"""Figures 5 and 6: miss-ratio curves of the load-bearing query classes.
+
+Traces are generated directly from the workload's access patterns (the same
+generators the full cluster simulation uses) and run through Mattson's stack
+algorithm.  Three curves matter:
+
+* BestSeller under the normal (indexed) configuration — Figure 5; the paper
+  reports an acceptable memory need of 6982 pages.
+* BestSeller after the ``O_DATE`` drop — a flatter curve with a longer tail
+  whose acceptable memory shrinks to 3695 pages.
+* RUBiS SearchItemsByRegion — Figure 6; acceptable memory ≈ 7906 pages, an
+  almost linear decline out to the working-set edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.mrc import MissRatioCurve
+from ..engine.query import QueryClass
+from ..workloads.rubis import SEARCH_ITEMS_BY_REGION, build_rubis
+from ..workloads.tpcw import BEST_SELLER, O_DATE_INDEX, build_tpcw
+from .results import MRCResult
+
+__all__ = [
+    "trace_of_class",
+    "mrc_of_class",
+    "run_fig5_bestseller",
+    "run_fig5_bestseller_degraded",
+    "run_fig6_search_items_by_region",
+]
+
+DEFAULT_EXECUTIONS = 400
+DEFAULT_POOL_PAGES = 8192
+CURVE_SAMPLE_POINTS = 24
+
+
+def trace_of_class(query_class: QueryClass, executions: int) -> np.ndarray:
+    """Concatenated demand-page trace of ``executions`` runs of the class."""
+    if executions <= 0:
+        raise ValueError(f"executions must be positive: {executions}")
+    pages: list[int] = []
+    for _ in range(executions):
+        pages.extend(query_class.execute_pages().demand)
+    return np.asarray(pages, dtype=np.int64)
+
+
+def mrc_of_class(
+    query_class: QueryClass,
+    executions: int = DEFAULT_EXECUTIONS,
+    pool_pages: int = DEFAULT_POOL_PAGES,
+) -> MRCResult:
+    """Build the class's MRC and sample it for plotting."""
+    trace = trace_of_class(query_class, executions)
+    curve = MissRatioCurve.from_trace(trace)
+    params = curve.parameters(pool_pages)
+    max_size = max(curve.max_depth, pool_pages)
+    sizes = sorted(
+        {
+            max(1, int(size))
+            for size in np.linspace(1, max_size, CURVE_SAMPLE_POINTS)
+        }
+    )
+    return MRCResult(
+        context=query_class.context_key,
+        params=params,
+        samples=curve.curve(sizes),
+        trace_length=len(trace),
+    )
+
+
+def run_fig5_bestseller(
+    executions: int = DEFAULT_EXECUTIONS,
+    pool_pages: int = DEFAULT_POOL_PAGES,
+    seed: int = 7,
+) -> MRCResult:
+    """Figure 5: BestSeller MRC under the normal (indexed) configuration."""
+    workload = build_tpcw(seed=seed)
+    best_seller = workload.class_named(BEST_SELLER)
+    return mrc_of_class(best_seller, executions, pool_pages)
+
+
+def run_fig5_bestseller_degraded(
+    executions: int = DEFAULT_EXECUTIONS,
+    pool_pages: int = DEFAULT_POOL_PAGES,
+    seed: int = 7,
+) -> MRCResult:
+    """BestSeller's MRC after dropping ``O_DATE`` (the §5.3 comparison)."""
+    workload = build_tpcw(seed=seed)
+    workload.catalog.drop(O_DATE_INDEX)
+    best_seller = workload.class_named(BEST_SELLER)
+    return mrc_of_class(best_seller, executions, pool_pages)
+
+
+def run_fig6_search_items_by_region(
+    executions: int = DEFAULT_EXECUTIONS,
+    pool_pages: int = DEFAULT_POOL_PAGES,
+    seed: int = 11,
+) -> MRCResult:
+    """Figure 6: the RUBiS SearchItemsByRegion miss-ratio curve."""
+    workload = build_rubis(seed=seed)
+    query_class = workload.class_named(SEARCH_ITEMS_BY_REGION)
+    return mrc_of_class(query_class, executions, pool_pages)

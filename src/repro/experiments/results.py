@@ -1,0 +1,168 @@
+"""Typed result rows for every reproduced table and figure.
+
+Each experiment driver returns one of these dataclasses; benchmarks render
+them next to the paper's numbers, and EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import Table
+from ..core.diagnosis import Action
+from ..core.mrc import MRCParameters
+from ..core.outliers import Severity
+
+__all__ = [
+    "MRCResult",
+    "IndexDropResult",
+    "BufferPartitioningResult",
+    "MemoryContentionResult",
+    "IOContentionResult",
+    "CPUSaturationResult",
+]
+
+
+@dataclass
+class MRCResult:
+    """Figures 5/6: one query class's miss-ratio curve and its parameters."""
+
+    context: str
+    params: MRCParameters
+    samples: list[tuple[int, float]] = field(default_factory=list)
+    trace_length: int = 0
+
+    def to_table(self) -> Table:
+        table = Table(
+            title=f"Miss Ratio Curve — {self.context}",
+            headers=["memory (pages)", "miss ratio"],
+        )
+        for size, ratio in self.samples:
+            table.add_row(size, f"{ratio:.4f}")
+        return table
+
+
+@dataclass
+class IndexDropResult:
+    """Figure 4: per-query-id metric ratios after dropping ``O_DATE``."""
+
+    ratios: dict[str, dict[int, float]] = field(default_factory=dict)
+    outlier_contexts: list[str] = field(default_factory=list)
+    outlier_severities: dict[str, Severity] = field(default_factory=dict)
+    mrc_before: MRCParameters | None = None
+    mrc_after: MRCParameters | None = None
+    actions: list[Action] = field(default_factory=list)
+    latency_before: float = 0.0
+    latency_violation: float = 0.0
+    latency_after: float = 0.0
+
+    def ratio_table(self, metric: str) -> Table:
+        table = Table(
+            title=f"Figure 4 ({metric}) — current / stable per query id",
+            headers=["query id", "ratio"],
+        )
+        for query_id in sorted(self.ratios.get(metric, {})):
+            table.add_row(query_id, f"{self.ratios[metric][query_id]:.2f}")
+        return table
+
+
+@dataclass
+class BufferPartitioningResult:
+    """Table 1: hit ratios under shared / partitioned / exclusive pools."""
+
+    shared_bestseller: float = 0.0
+    shared_rest: float = 0.0
+    partitioned_bestseller: float = 0.0
+    partitioned_rest: float = 0.0
+    exclusive_bestseller: float = 0.0
+    exclusive_rest: float = 0.0
+    quota_pages: int = 0
+
+    def to_table(self) -> Table:
+        table = Table(
+            title="Table 1 — Hit Ratio (%) of buffer pool organisations",
+            headers=["organisation", "BestSeller", "Non-BestSeller"],
+        )
+        table.add_row(
+            "Shared Buffer",
+            f"{self.shared_bestseller * 100:.1f}",
+            f"{self.shared_rest * 100:.1f}",
+        )
+        table.add_row(
+            "Partitioned Buffer",
+            f"{self.partitioned_bestseller * 100:.1f}",
+            f"{self.partitioned_rest * 100:.1f}",
+        )
+        table.add_row(
+            "Exclusive Buffer",
+            f"{self.exclusive_bestseller * 100:.1f}",
+            f"{self.exclusive_rest * 100:.1f}",
+        )
+        return table
+
+
+@dataclass
+class PlacementRow:
+    """One row of Tables 2/3: a placement and the observed latency/WIPS."""
+
+    placement: str
+    latency: float
+    throughput: float
+
+
+@dataclass
+class MemoryContentionResult:
+    """Table 2: TPC-W alone / with RUBiS / after moving SearchItemsByRegion."""
+
+    rows: list[PlacementRow] = field(default_factory=list)
+    actions: list[Action] = field(default_factory=list)
+    rescheduled_context: str | None = None
+
+    def to_table(self) -> Table:
+        table = Table(
+            title="Table 2 — Memory contention in a shared buffer pool (TPC-W)",
+            headers=["placement", "latency (s)", "throughput (WIPS)"],
+        )
+        for row in self.rows:
+            table.add_row(row.placement, f"{row.latency:.2f}", f"{row.throughput:.2f}")
+        return table
+
+
+@dataclass
+class IOContentionResult:
+    """Table 3: two RUBiS VM domains contending on the dom0 I/O channel."""
+
+    rows: list[PlacementRow] = field(default_factory=list)
+    actions: list[Action] = field(default_factory=list)
+    heaviest_io_context: str | None = None
+    heaviest_io_share: float = 0.0
+
+    def to_table(self) -> Table:
+        table = Table(
+            title="Table 3 — I/O contention among VM domains (RUBiS-1)",
+            headers=["placement", "latency (s)", "throughput (WIPS)"],
+        )
+        for row in self.rows:
+            table.add_row(row.placement, f"{row.latency:.2f}", f"{row.throughput:.2f}")
+        return table
+
+
+@dataclass
+class CPUSaturationResult:
+    """Figure 3: sine load, machine allocation and latency over time."""
+
+    load_series: list[tuple[float, int]] = field(default_factory=list)
+    allocation_series: list[tuple[float, int]] = field(default_factory=list)
+    latency_series: list[tuple[float, float]] = field(default_factory=list)
+    sla_latency: float = 1.0
+    peak_replicas: int = 0
+    violations_before_recovery: int = 0
+
+    @property
+    def final_latency(self) -> float:
+        return self.latency_series[-1][1] if self.latency_series else 0.0
+
+    def sla_met_at_end(self, last_n: int = 3) -> bool:
+        tail = self.latency_series[-last_n:]
+        return all(latency <= self.sla_latency for _, latency in tail)

@@ -1,0 +1,22 @@
+"""Deterministic simulation kernel: clock, events, seeded randomness, traces."""
+
+from .clock import Interval, IntervalTimer, SimClock
+from .events import Event, EventLoop, StopSimulation
+from .rng import RandomStream, SeedSequenceFactory, ZipfGenerator
+from .trace import AccessWindow, PageAccess, PageAccessTrace, interleave_traces
+
+__all__ = [
+    "AccessWindow",
+    "Event",
+    "EventLoop",
+    "Interval",
+    "IntervalTimer",
+    "PageAccess",
+    "PageAccessTrace",
+    "RandomStream",
+    "SeedSequenceFactory",
+    "SimClock",
+    "StopSimulation",
+    "ZipfGenerator",
+    "interleave_traces",
+]

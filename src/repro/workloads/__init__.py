@@ -1,0 +1,40 @@
+"""Workload models: TPC-W, RUBiS, client emulation and load functions."""
+
+from .base import MixEntry, Workload
+from .clients import ClientSession, ClosedLoopDriver
+from .load import ConstantLoad, LoadFunction, SineLoad, StepLoad
+from .rubis import RUBIS_APP, RUBIS_MIXES, SEARCH_ITEMS_BY_REGION, build_rubis
+from .sessions import MarkovSessionModel, session_model_from_mix
+from .tpcw import (
+    BEST_SELLER,
+    NEW_PRODUCTS,
+    O_DATE_INDEX,
+    TPCW_APP,
+    TPCW_MIXES,
+    build_tpcw,
+    inject_unqualified_admin_update,
+)
+
+__all__ = [
+    "BEST_SELLER",
+    "ClientSession",
+    "ClosedLoopDriver",
+    "ConstantLoad",
+    "LoadFunction",
+    "MarkovSessionModel",
+    "MixEntry",
+    "NEW_PRODUCTS",
+    "O_DATE_INDEX",
+    "RUBIS_APP",
+    "RUBIS_MIXES",
+    "SEARCH_ITEMS_BY_REGION",
+    "SineLoad",
+    "StepLoad",
+    "TPCW_APP",
+    "TPCW_MIXES",
+    "Workload",
+    "build_rubis",
+    "build_tpcw",
+    "inject_unqualified_admin_update",
+    "session_model_from_mix",
+]

@@ -1,0 +1,106 @@
+"""Workload abstractions shared by the TPC-W and RUBiS models.
+
+A :class:`Workload` bundles, for one application:
+
+* a synthetic schema (tables and indexes with realistic page footprints),
+* a set of :class:`~repro.engine.query.QueryClass` objects whose access
+  patterns reproduce the locality structure of the real benchmark's
+  interactions, and
+* a *mix*: the relative frequency of each class (e.g. TPC-W's shopping mix
+  with 20 % writes).
+
+The schema and index catalog are shared by every replica of the application
+— data is fully replicated, so page ids coincide across replicas and an
+index drop (a database-configuration change) affects all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.indexes import IndexCatalog
+from ..engine.query import QueryClass, QueryClassRegistry
+from ..engine.tables import Schema
+from ..sim.rng import RandomStream, SeedSequenceFactory
+
+__all__ = ["MixEntry", "Workload"]
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One query class and its relative frequency in the workload mix."""
+
+    query_class: QueryClass
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(
+                f"mix weight of {self.query_class.name!r} must be "
+                f"non-negative: {self.weight}"
+            )
+
+
+@dataclass
+class Workload:
+    """One application's schema, query classes and mix."""
+
+    app: str
+    schema: Schema
+    catalog: IndexCatalog
+    mix: list[MixEntry] = field(default_factory=list)
+    seeds: SeedSequenceFactory = field(default_factory=SeedSequenceFactory)
+
+    def __post_init__(self) -> None:
+        self._registry = QueryClassRegistry(self.app)
+        for entry in self.mix:
+            self._registry.register(entry.query_class)
+
+    @property
+    def registry(self) -> QueryClassRegistry:
+        return self._registry
+
+    def classes(self) -> list[QueryClass]:
+        return [entry.query_class for entry in self.mix]
+
+    def class_named(self, name: str) -> QueryClass:
+        return self._registry.by_name(name)
+
+    def weights(self) -> list[float]:
+        return [entry.weight for entry in self.mix]
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of the mix that is writes (sanity check vs the paper)."""
+        total = sum(entry.weight for entry in self.mix)
+        if total <= 0:
+            return 0.0
+        writes = sum(
+            entry.weight for entry in self.mix if entry.query_class.is_write
+        )
+        return writes / total
+
+    def sample_class(self, stream: RandomStream) -> QueryClass:
+        """Draw one query class according to the mix weights."""
+        if not self.mix:
+            raise ValueError(f"workload {self.app!r} has an empty mix")
+        entries = [entry.query_class for entry in self.mix]
+        return stream.choice(entries, weights=self.weights())
+
+    def without_class(self, name: str) -> "Workload":
+        """A copy of this workload with one class removed from the mix.
+
+        Used by the Table 3 experiment, where the heaviest-I/O class is
+        removed from one RUBiS instance.  Registry state is rebuilt so the
+        copy is independent.
+        """
+        remaining = [entry for entry in self.mix if entry.query_class.name != name]
+        if len(remaining) == len(self.mix):
+            raise KeyError(f"workload {self.app!r} has no class {name!r}")
+        return Workload(
+            app=self.app,
+            schema=self.schema,
+            catalog=self.catalog,
+            mix=remaining,
+            seeds=self.seeds,
+        )

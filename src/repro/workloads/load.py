@@ -1,0 +1,96 @@
+"""Client-load functions: how many emulated clients are active over time.
+
+The Figure 3 experiment drives TPC-W with a sinusoid client population plus
+random noise; other experiments use constant or stepped populations.  A load
+function maps simulated time to an integer client count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..sim.rng import RandomStream
+
+__all__ = ["LoadFunction", "ConstantLoad", "StepLoad", "SineLoad"]
+
+
+class LoadFunction:
+    """Interface: client count at a simulated time."""
+
+    def clients_at(self, timestamp: float) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLoad(LoadFunction):
+    """A fixed client population."""
+
+    clients: int
+
+    def __post_init__(self) -> None:
+        if self.clients < 0:
+            raise ValueError(f"client count must be non-negative: {self.clients}")
+
+    def clients_at(self, timestamp: float) -> int:
+        return self.clients
+
+
+class StepLoad(LoadFunction):
+    """A piecewise-constant population: ``[(start_time, clients), ...]``."""
+
+    def __init__(self, steps: list[tuple[float, int]]) -> None:
+        if not steps:
+            raise ValueError("step load needs at least one step")
+        ordered = sorted(steps)
+        if ordered[0][0] > 0:
+            ordered.insert(0, (0.0, ordered[0][1]))
+        for _, clients in ordered:
+            if clients < 0:
+                raise ValueError(f"client count must be non-negative: {clients}")
+        self._steps = ordered
+
+    def clients_at(self, timestamp: float) -> int:
+        current = self._steps[0][1]
+        for start, clients in self._steps:
+            if timestamp >= start:
+                current = clients
+            else:
+                break
+        return current
+
+
+class SineLoad(LoadFunction):
+    """The paper's sinusoid load with random noise (Figure 3a).
+
+    ``clients(t) = base + amplitude * sin(2*pi*t / period)`` plus uniform
+    noise of ±``noise`` clients, clamped at zero.  The noise draw is keyed
+    deterministically off the timestamp so repeated queries at the same time
+    agree.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        amplitude: int,
+        period: float,
+        noise: int = 0,
+        stream: RandomStream | None = None,
+    ) -> None:
+        if base < 0 or amplitude < 0 or noise < 0:
+            raise ValueError("base, amplitude and noise must be non-negative")
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period}")
+        self.base = base
+        self.amplitude = amplitude
+        self.period = period
+        self.noise = noise
+        self._stream = stream
+
+    def clients_at(self, timestamp: float) -> int:
+        value = self.base + self.amplitude * math.sin(
+            2.0 * math.pi * timestamp / self.period
+        )
+        if self.noise and self._stream is not None:
+            value += self._stream.uniform(-self.noise, self.noise)
+        return max(0, int(round(value)))

@@ -1,0 +1,335 @@
+"""Synthetic RUBiS: the auction-site workload (eBay-like, bidding mix).
+
+Twelve query classes model the bidding mix's interactions with 15 % writes.
+The load-bearing class is **SearchItemsByRegion**: a region-filtered search
+whose plan combines a near-uniform reference pattern over a ~8000-page
+region of the items table with partial scans of the bids history.  Its
+miss-ratio curve declines almost linearly out to ~7900 pages (paper
+Figure 6) and it contributes the large majority of the application's I/O —
+87 % in the paper's Table 3 analysis — which makes it both the memory-
+interference aggressor of Table 2 and the I/O-contention aggressor of
+Table 3.
+"""
+
+from __future__ import annotations
+
+from ..engine.access import (
+    CompositePattern,
+    IndexLookup,
+    IndexRangeScan,
+    SequentialChunkScan,
+    UniformWorkingSet,
+    ZipfWorkingSet,
+)
+from ..engine.indexes import BTreeIndex, IndexCatalog
+from ..engine.pages import PageSpaceAllocator
+from ..engine.query import QueryClass
+from ..engine.tables import Schema
+from ..sim.rng import SeedSequenceFactory
+from .base import MixEntry, Workload
+
+__all__ = ["RUBIS_APP", "RUBIS_MIXES", "SEARCH_ITEMS_BY_REGION", "build_rubis"]
+
+RUBIS_APP = "rubis"
+SEARCH_ITEMS_BY_REGION = "search_items_by_region"
+
+
+RUBIS_MIXES = {
+    # The default bidding mix (15% writes, "most representative of an
+    # auction site workload" per the paper) and the read-only browsing mix.
+    "bidding": {},
+    "browsing": {
+        "store_bid": 0.0,
+        "store_comment": 0.0,
+        "register_item": 0.0,
+        "register_user": 0.0,
+        "browse_categories": 1.4,
+        "browse_regions": 1.4,
+        "view_item": 1.3,
+        "view_bid_history": 1.3,
+    },
+}
+
+
+def build_rubis(
+    seed: int = 11,
+    page_base: int = 1_000_000,
+    app: str = RUBIS_APP,
+    mix: str = "bidding",
+) -> Workload:
+    """Construct a RUBiS workload instance.
+
+    Distinct ``app`` names with distinct ``page_base`` offsets yield
+    independent RUBiS instances over separate data — the two-domain Table 3
+    configuration ("as if two distinct applications were running").
+    ``mix`` selects the standard bidding mix (15% writes) or the read-only
+    browsing mix.
+    """
+    if mix not in RUBIS_MIXES:
+        raise ValueError(
+            f"unknown RUBiS mix {mix!r}; choose from {sorted(RUBIS_MIXES)}"
+        )
+    seeds = SeedSequenceFactory(seed)
+    schema = Schema(name=app, allocator=PageSpaceAllocator(base=page_base))
+    catalog = IndexCatalog()
+
+    users = schema.add_table("users", row_count=1_000_000, row_bytes=500)
+    items = schema.add_table("items", row_count=500_000, row_bytes=600)
+    bids = schema.add_table("bids", row_count=5_000_000, row_bytes=100)
+    comments = schema.add_table("comments", row_count=500_000, row_bytes=400)
+
+    allocator = schema.allocator
+    users_pk = BTreeIndex.create(allocator, f"{app}:users_pk", users)
+    items_pk = BTreeIndex.create(allocator, f"{app}:items_pk", items)
+    items_category = BTreeIndex.create(allocator, f"{app}:items_category", items)
+    bids_item = BTreeIndex.create(allocator, f"{app}:bids_item", bids)
+    for index in (users_pk, items_pk, items_category, bids_item):
+        catalog.add(index)
+
+    def zipf(table, working_set, theta, pages, stream_name):
+        return ZipfWorkingSet(
+            table.pages, working_set, theta, pages, seeds.stream(stream_name)
+        )
+
+    search_by_region = CompositePattern(
+        [
+            UniformWorkingSet(
+                items.pages,
+                working_set=6500,
+                pages_per_execution=500,
+                stream=seeds.stream("region-items"),
+            ),
+            SequentialChunkScan(bids.pages, chunk=80, readahead=64, region=25_000),
+        ]
+    )
+
+    classes = [
+        (
+            QueryClass(
+                name="home",
+                app=app,
+                query_id=1,
+                template="select name from categories",
+                pattern=zipf(items, 100, 0.8, 4, "home"),
+                cpu_cost=0.002,
+            ),
+            0.08,
+        ),
+        (
+            QueryClass(
+                name="browse_categories",
+                app=app,
+                query_id=2,
+                template="select * from categories order by name",
+                pattern=zipf(items, 150, 0.7, 6, "browse-cat"),
+                cpu_cost=0.003,
+            ),
+            0.08,
+        ),
+        (
+            QueryClass(
+                name="browse_regions",
+                app=app,
+                query_id=3,
+                template="select * from regions order by name",
+                pattern=zipf(users, 150, 0.7, 6, "browse-reg"),
+                cpu_cost=0.003,
+            ),
+            0.06,
+        ),
+        (
+            QueryClass(
+                name="search_items_by_category",
+                app=app,
+                query_id=4,
+                template=(
+                    "select * from items where category = ? and end_date > ? "
+                    "limit 25"
+                ),
+                pattern=CompositePattern(
+                    [
+                        IndexRangeScan(
+                            items_category,
+                            seeds.stream("search-cat-idx"),
+                            row_span=500,
+                            start_theta=0.7,
+                        ),
+                        zipf(items, 900, 0.55, 25, "search-cat-data"),
+                    ]
+                ),
+                cpu_cost=0.008,
+            ),
+            0.12,
+        ),
+        (
+            QueryClass(
+                name=SEARCH_ITEMS_BY_REGION,
+                app=app,
+                query_id=5,
+                template=(
+                    "select * from items, users where items.seller = users.id "
+                    "and users.region = ? and end_date > ? limit 25"
+                ),
+                pattern=search_by_region,
+                cpu_cost=0.030,
+            ),
+            0.12,
+        ),
+        (
+            QueryClass(
+                name="view_item",
+                app=app,
+                query_id=6,
+                template="select * from items where id = ?",
+                pattern=CompositePattern(
+                    [
+                        IndexLookup(
+                            items_pk,
+                            seeds.stream("view-item"),
+                            key_space=100_000,
+                            key_theta=0.9,
+                        ),
+                        zipf(items, 700, 0.7, 10, "view-item-data"),
+                    ]
+                ),
+                cpu_cost=0.003,
+            ),
+            0.20,
+        ),
+        (
+            QueryClass(
+                name="view_user_info",
+                app=app,
+                query_id=7,
+                template="select * from users where id = ?",
+                pattern=CompositePattern(
+                    [
+                        IndexLookup(
+                            users_pk,
+                            seeds.stream("view-user"),
+                            key_space=80_000,
+                        ),
+                        zipf(comments, 250, 0.5, 8, "view-user-comments"),
+                    ]
+                ),
+                cpu_cost=0.003,
+            ),
+            0.06,
+        ),
+        (
+            QueryClass(
+                name="view_bid_history",
+                app=app,
+                query_id=8,
+                template="select * from bids where item_id = ? order by bid_date",
+                pattern=CompositePattern(
+                    [
+                        IndexLookup(
+                            bids_item,
+                            seeds.stream("bid-history"),
+                            key_space=80_000,
+                            rows_per_lookup=5,
+                        ),
+                        zipf(bids, 500, 0.5, 12, "bid-history-data"),
+                    ]
+                ),
+                cpu_cost=0.005,
+            ),
+            0.06,
+        ),
+        (
+            QueryClass(
+                name="buy_now",
+                app=app,
+                query_id=9,
+                template="select * from items, buy_now where items.id = ?",
+                pattern=zipf(items, 300, 0.6, 8, "buy-now"),
+                cpu_cost=0.004,
+            ),
+            0.03,
+        ),
+        (
+            QueryClass(
+                name="about_me",
+                app=app,
+                query_id=10,
+                template=(
+                    "select * from users, items, bids where users.id = ? and "
+                    "bids.user_id = users.id"
+                ),
+                pattern=CompositePattern(
+                    [
+                        IndexLookup(
+                            users_pk,
+                            seeds.stream("about-me"),
+                            key_space=50_000,
+                            rows_per_lookup=3,
+                        ),
+                        zipf(bids, 400, 0.5, 10, "about-me-bids"),
+                    ]
+                ),
+                cpu_cost=0.006,
+            ),
+            0.04,
+        ),
+        (
+            QueryClass(
+                name="store_bid",
+                app=app,
+                query_id=11,
+                template="insert into bids values (?)",
+                pattern=CompositePattern(
+                    [
+                        zipf(bids, 200, 0.4, 5, "store-bid"),
+                        zipf(items, 150, 0.6, 3, "store-bid-item"),
+                    ]
+                ),
+                cpu_cost=0.004,
+                is_write=True,
+            ),
+            0.09,
+        ),
+        (
+            QueryClass(
+                name="store_comment",
+                app=app,
+                query_id=12,
+                template="insert into comments values (?)",
+                pattern=zipf(comments, 150, 0.4, 4, "store-comment"),
+                cpu_cost=0.004,
+                is_write=True,
+            ),
+            0.02,
+        ),
+        (
+            QueryClass(
+                name="register_item",
+                app=app,
+                query_id=13,
+                template="insert into items values (?)",
+                pattern=zipf(items, 120, 0.4, 4, "register-item"),
+                cpu_cost=0.005,
+                is_write=True,
+            ),
+            0.02,
+        ),
+        (
+            QueryClass(
+                name="register_user",
+                app=app,
+                query_id=14,
+                template="insert into users values (?)",
+                pattern=zipf(users, 120, 0.4, 4, "register-user"),
+                cpu_cost=0.005,
+                is_write=True,
+            ),
+            0.02,
+        ),
+    ]
+
+    multipliers = RUBIS_MIXES[mix]
+    entries = [
+        MixEntry(query_class=qc, weight=w * multipliers.get(qc.name, 1.0))
+        for qc, w in classes
+    ]
+    return Workload(app=app, schema=schema, catalog=catalog, mix=entries, seeds=seeds)

@@ -1,0 +1,465 @@
+"""Synthetic TPC-W: the on-line bookstore workload of the paper.
+
+Scale follows the paper: 100 K items and a multi-million-row customer /
+order history (~4 GB of data pages).  Fourteen query classes model the
+shopping mix's dominant interactions, with 20 % writes.  Two classes are
+load-bearing for the experiments:
+
+* **BestSeller (#8)** — the paper's problem query.  Its indexed plan probes
+  the ``O_DATE`` index and re-reads a ~7000-page hot region of recent order
+  lines (acceptable memory ≈ 7000 pages).  When ``O_DATE`` is dropped, the
+  plan degenerates into a partial sequential scan over the orders history:
+  a smaller reusable set (~3400 pages) plus a large cyclic scan whose
+  read-ahead traffic floods the buffer pool — the Figure 4/5 signature.
+* **NewProducts (#9)** — an index range scan with a mid-sized working set;
+  it is one of the innocent-bystander mild outliers after the index drop.
+"""
+
+from __future__ import annotations
+
+from ..engine.access import (
+    CompositePattern,
+    IndexLookup,
+    IndexRangeScan,
+    PlanSwitchingPattern,
+    SequentialChunkScan,
+    ZipfWorkingSet,
+)
+from ..engine.indexes import BTreeIndex, IndexCatalog
+from ..engine.locks import LockMode, RowGroupLockPattern
+from ..engine.pages import PageSpaceAllocator
+from ..engine.query import QueryClass
+from ..engine.tables import Schema
+from ..sim.rng import SeedSequenceFactory
+from .base import MixEntry, Workload
+
+__all__ = [
+    "TPCW_APP",
+    "O_DATE_INDEX",
+    "BEST_SELLER",
+    "NEW_PRODUCTS",
+    "ITEM_LOCK_GROUPS",
+    "TPCW_MIXES",
+    "build_tpcw",
+    "inject_unqualified_admin_update",
+]
+
+ITEM_LOCK_GROUPS = 200
+"""Row groups of the item table for lock purposes (500 rows per group)."""
+
+TPCW_APP = "tpcw"
+O_DATE_INDEX = "o_date"
+BEST_SELLER = "best_seller"
+NEW_PRODUCTS = "new_products"
+
+
+TPCW_MIXES = {
+    # Per-class weight multipliers relative to the shopping mix, applied on
+    # top of the base weights below and renormalised.  The three mixes are
+    # TPC-W's standard ones: browsing (~5% writes), shopping (~20% writes,
+    # "the most representative e-commerce workload" per the paper), and
+    # ordering (~50% writes).
+    "shopping": {},
+    "browsing": {
+        "home": 1.6,
+        "search_title": 1.6,
+        "search_subject": 1.6,
+        "search_author": 1.6,
+        "product_detail": 1.5,
+        "best_seller": 1.6,
+        "new_products": 1.6,
+        "shopping_cart": 0.25,
+        "customer_registration": 0.25,
+        "buy_request": 0.15,
+        "buy_confirm": 0.1,
+        "admin_update": 0.5,
+    },
+    "ordering": {
+        "home": 0.6,
+        "search_title": 0.4,
+        "search_subject": 0.4,
+        "search_author": 0.4,
+        "product_detail": 0.6,
+        "best_seller": 0.3,
+        "new_products": 0.3,
+        "order_inquiry": 2.0,
+        "order_display": 2.0,
+        "shopping_cart": 2.4,
+        "customer_registration": 2.5,
+        "buy_request": 3.8,
+        "buy_confirm": 4.5,
+        "admin_update": 1.0,
+    },
+}
+
+
+def build_tpcw(
+    seed: int = 7,
+    page_base: int = 0,
+    app: str = TPCW_APP,
+    mix: str = "shopping",
+) -> Workload:
+    """Construct the TPC-W workload.
+
+    ``page_base`` offsets the page-id space so a TPC-W database can share an
+    engine (and therefore a buffer pool) with another application's database
+    without page-id collisions — the Table 2 configuration.  ``mix`` selects
+    one of TPC-W's standard interaction mixes (``shopping``, ``browsing``,
+    ``ordering``); the paper uses the shopping mix throughout.
+    """
+    if mix not in TPCW_MIXES:
+        raise ValueError(
+            f"unknown TPC-W mix {mix!r}; choose from {sorted(TPCW_MIXES)}"
+        )
+    seeds = SeedSequenceFactory(seed)
+    schema = Schema(name=app, allocator=PageSpaceAllocator(base=page_base))
+    catalog = IndexCatalog()
+
+    item = schema.add_table("item", row_count=100_000, row_bytes=1000)
+    customer = schema.add_table("customer", row_count=1_440_000, row_bytes=800)
+    orders = schema.add_table("orders", row_count=900_000, row_bytes=250)
+    order_line = schema.add_table("order_line", row_count=3_000_000, row_bytes=120)
+    author = schema.add_table("author", row_count=25_000, row_bytes=600)
+    cc_xacts = schema.add_table("cc_xacts", row_count=900_000, row_bytes=120)
+    cart = schema.add_table("shopping_cart", row_count=100_000, row_bytes=100)
+
+    allocator = schema.allocator
+    item_pk = BTreeIndex.create(allocator, f"{app}:item_pk", item)
+    customer_pk = BTreeIndex.create(allocator, f"{app}:customer_pk", customer)
+    orders_pk = BTreeIndex.create(allocator, f"{app}:orders_pk", orders)
+    o_date = BTreeIndex.create(allocator, O_DATE_INDEX, orders)
+    ol_order = BTreeIndex.create(allocator, f"{app}:ol_order", order_line)
+    item_title = BTreeIndex.create(allocator, f"{app}:item_title", item)
+    for index in (item_pk, customer_pk, orders_pk, o_date, ol_order, item_title):
+        catalog.add(index)
+
+    def zipf(table, working_set, theta, pages, stream_name):
+        return ZipfWorkingSet(
+            table.pages, working_set, theta, pages, seeds.stream(stream_name)
+        )
+
+    def locks(table_name, mode, stream_name, groups=1, group_count=ITEM_LOCK_GROUPS):
+        return RowGroupLockPattern(
+            table_name,
+            group_count,
+            mode,
+            seeds.stream(stream_name),
+            groups_per_execution=groups,
+        )
+
+    # ---- BestSeller (#8): the problem query ---------------------------- #
+    # Indexed plan: O_DATE range probe + hot recent order-line region.
+    best_seller_indexed = CompositePattern(
+        [
+            IndexRangeScan(
+                o_date,
+                seeds.stream("bs-odate"),
+                row_span=3000,
+                start_theta=1.2,
+                data_page_fraction=0.05,
+            ),
+            zipf(order_line, 7000, 0.35, 200, "bs-orderline"),
+        ]
+    )
+    # Fallback plan: no usable date index — partial scans over the orders
+    # history (read-ahead heavy) plus the join's reusable item/order pages.
+    best_seller_fallback = CompositePattern(
+        [
+            zipf(order_line, 1800, 0.30, 200, "bs-fallback-hot"),
+            SequentialChunkScan(
+                orders.pages, chunk=1500, readahead=128, region=12000
+            ),
+        ]
+    )
+    best_seller_pattern = PlanSwitchingPattern(
+        catalog, O_DATE_INDEX, best_seller_indexed, best_seller_fallback
+    )
+
+    classes = [
+        (
+            QueryClass(
+                name="home",
+                app=app,
+                query_id=1,
+                template=(
+                    "select c_fname, c_lname from customer where c_id = ?"
+                ),
+                pattern=CompositePattern(
+                    [
+                        IndexLookup(
+                            customer_pk,
+                            seeds.stream("home-cust"),
+                            key_space=50_000,
+                        ),
+                        zipf(item, 300, 0.7, 12, "home-promo"),
+                    ]
+                ),
+                cpu_cost=0.004,
+            ),
+            0.16,
+        ),
+        (
+            QueryClass(
+                name="search_title",
+                app=app,
+                query_id=2,
+                template="select * from item where i_title like ? limit 50",
+                pattern=CompositePattern(
+                    [
+                        IndexRangeScan(
+                            item_title,
+                            seeds.stream("search-title"),
+                            row_span=300,
+                            start_theta=0.6,
+                        ),
+                        zipf(item, 350, 0.6, 20, "search-title-data"),
+                    ]
+                ),
+                cpu_cost=0.008,
+                lock_pattern=locks("item", LockMode.SHARED, "lk-title"),
+            ),
+            0.11,
+        ),
+        (
+            QueryClass(
+                name="search_subject",
+                app=app,
+                query_id=3,
+                template="select * from item where i_subject = ? limit 50",
+                pattern=zipf(item, 250, 0.6, 25, "search-subject"),
+                cpu_cost=0.007,
+                lock_pattern=locks("item", LockMode.SHARED, "lk-subject"),
+            ),
+            0.07,
+        ),
+        (
+            QueryClass(
+                name="search_author",
+                app=app,
+                query_id=4,
+                template=(
+                    "select * from item, author where i_a_id = a_id and "
+                    "a_lname = ?"
+                ),
+                pattern=CompositePattern(
+                    [
+                        zipf(author, 150, 0.5, 10, "search-author-idx"),
+                        zipf(item, 200, 0.5, 15, "search-author-data"),
+                    ]
+                ),
+                cpu_cost=0.008,
+            ),
+            0.06,
+        ),
+        (
+            QueryClass(
+                name="product_detail",
+                app=app,
+                query_id=5,
+                template="select * from item, author where i_id = ?",
+                pattern=CompositePattern(
+                    [
+                        IndexLookup(
+                            item_pk,
+                            seeds.stream("detail-item"),
+                            key_space=100_000,
+                            key_theta=0.8,
+                        ),
+                        zipf(item, 700, 0.6, 18, "detail-data"),
+                    ]
+                ),
+                cpu_cost=0.004,
+                lock_pattern=locks("item", LockMode.SHARED, "lk-detail"),
+            ),
+            0.18,
+        ),
+        (
+            QueryClass(
+                name="order_inquiry",
+                app=app,
+                query_id=6,
+                template="select * from orders where o_c_id = ? order by o_date",
+                pattern=CompositePattern(
+                    [
+                        IndexLookup(
+                            orders_pk,
+                            seeds.stream("oinq"),
+                            key_space=50_000,
+                            rows_per_lookup=4,
+                        ),
+                        zipf(orders, 200, 0.5, 10, "oinq-data"),
+                    ]
+                ),
+                cpu_cost=0.005,
+            ),
+            0.05,
+        ),
+        (
+            QueryClass(
+                name="order_display",
+                app=app,
+                query_id=7,
+                template=(
+                    "select * from order_line, item where ol_o_id = ? and "
+                    "ol_i_id = i_id"
+                ),
+                pattern=CompositePattern(
+                    [
+                        IndexLookup(
+                            ol_order,
+                            seeds.stream("odisp"),
+                            key_space=50_000,
+                            rows_per_lookup=3,
+                        ),
+                        zipf(order_line, 250, 0.5, 12, "odisp-data"),
+                    ]
+                ),
+                cpu_cost=0.006,
+            ),
+            0.06,
+        ),
+        (
+            QueryClass(
+                name=BEST_SELLER,
+                app=app,
+                query_id=8,
+                template=(
+                    "select i_id, sum(ol_qty) from orders, order_line, item "
+                    "where o_id = ol_o_id and ol_i_id = i_id and o_date > ? "
+                    "group by i_id order by sum(ol_qty) desc limit 50"
+                ),
+                pattern=best_seller_pattern,
+                cpu_cost=0.050,
+            ),
+            0.05,
+        ),
+        (
+            QueryClass(
+                name=NEW_PRODUCTS,
+                app=app,
+                query_id=9,
+                template=(
+                    "select * from item where i_subject = ? order by "
+                    "i_pub_date desc limit 50"
+                ),
+                pattern=CompositePattern(
+                    [
+                        IndexRangeScan(
+                            item_title,
+                            seeds.stream("newprod-idx"),
+                            row_span=400,
+                            start_theta=0.7,
+                        ),
+                        zipf(item, 1400, 0.45, 40, "newprod-data"),
+                    ]
+                ),
+                cpu_cost=0.012,
+            ),
+            0.06,
+        ),
+        (
+            QueryClass(
+                name="shopping_cart",
+                app=app,
+                query_id=10,
+                template="update shopping_cart set sc_time = ? where sc_id = ?",
+                pattern=zipf(cart, 100, 0.6, 6, "cart"),
+                cpu_cost=0.004,
+                is_write=True,
+                lock_pattern=locks("shopping_cart", LockMode.EXCLUSIVE, "lk-cart"),
+            ),
+            0.08,
+        ),
+        (
+            QueryClass(
+                name="customer_registration",
+                app=app,
+                query_id=11,
+                template="insert into customer values (?)",
+                pattern=zipf(customer, 120, 0.4, 5, "cust-reg"),
+                cpu_cost=0.005,
+                is_write=True,
+            ),
+            0.04,
+        ),
+        (
+            QueryClass(
+                name="buy_request",
+                app=app,
+                query_id=12,
+                template="insert into orders values (?)",
+                pattern=CompositePattern(
+                    [
+                        zipf(orders, 120, 0.4, 6, "buy-req"),
+                        zipf(cart, 80, 0.5, 4, "buy-req-cart"),
+                    ]
+                ),
+                cpu_cost=0.006,
+                is_write=True,
+                lock_pattern=locks("orders", LockMode.EXCLUSIVE, "lk-breq"),
+            ),
+            0.04,
+        ),
+        (
+            QueryClass(
+                name="buy_confirm",
+                app=app,
+                query_id=13,
+                template="insert into cc_xacts values (?)",
+                pattern=CompositePattern(
+                    [
+                        zipf(cc_xacts, 150, 0.4, 6, "buy-conf"),
+                        zipf(order_line, 150, 0.4, 8, "buy-conf-ol"),
+                    ]
+                ),
+                cpu_cost=0.008,
+                is_write=True,
+            ),
+            0.03,
+        ),
+        (
+            QueryClass(
+                name="admin_update",
+                app=app,
+                query_id=14,
+                template="update item set i_cost = ? where i_id = ?",
+                pattern=zipf(item, 80, 0.5, 4, "admin-upd"),
+                cpu_cost=0.004,
+                is_write=True,
+                lock_pattern=locks("item", LockMode.EXCLUSIVE, "lk-admin"),
+            ),
+            0.01,
+        ),
+    ]
+
+    multipliers = TPCW_MIXES[mix]
+    entries = [
+        MixEntry(query_class=qc, weight=w * multipliers.get(qc.name, 1.0))
+        for qc, w in classes
+    ]
+    return Workload(app=app, schema=schema, catalog=catalog, mix=entries, seeds=seeds)
+
+
+def inject_unqualified_admin_update(workload: Workload) -> None:
+    """Fault injection: AdminUpdate loses its WHERE clause (paper §7).
+
+    The paper's future-work section names "invoking a query with the wrong
+    arguments" as the next anomaly for outlier detection to narrow down.
+    This helper turns AdminUpdate into exactly that fault: instead of one
+    indexed row it now scans the whole item table (read-ahead heavy) while
+    X-locking every item row group for the duration — so every reader of
+    the item table stalls behind it.
+    """
+    admin = workload.class_named("admin_update")
+    item = workload.schema.table("item")
+    admin.pattern = SequentialChunkScan(
+        item.pages, chunk=item.page_count, readahead=64, region=item.page_count
+    )
+    admin.lock_pattern = RowGroupLockPattern(
+        "item",
+        ITEM_LOCK_GROUPS,
+        LockMode.EXCLUSIVE,
+        workload.seeds.stream("lk-admin-broad"),
+        groups_per_execution=1,
+        span=ITEM_LOCK_GROUPS,
+    )

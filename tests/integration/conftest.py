@@ -1,0 +1,45 @@
+"""Session-scoped scenario fixtures.
+
+Each paper scenario runs once per test session; the integration tests then
+assert many independent properties of the same run.  All scenarios are
+deterministic, so this caching does not hide flakiness.
+"""
+
+import pytest
+
+from repro.experiments.buffer_partitioning import (
+    BufferPartitioningConfig,
+    run_buffer_partitioning,
+)
+from repro.experiments.cpu_saturation import CPUSaturationConfig, run_cpu_saturation
+from repro.experiments.index_drop import IndexDropConfig, run_index_drop
+from repro.experiments.io_contention import IOContentionConfig, run_io_contention
+from repro.experiments.memory_contention import (
+    MemoryContentionConfig,
+    run_memory_contention,
+)
+
+
+@pytest.fixture(scope="session")
+def index_drop_result():
+    return run_index_drop(IndexDropConfig(clients=60))
+
+
+@pytest.fixture(scope="session")
+def memory_contention_result():
+    return run_memory_contention(MemoryContentionConfig())
+
+
+@pytest.fixture(scope="session")
+def io_contention_result():
+    return run_io_contention(IOContentionConfig(clients_per_instance=150))
+
+
+@pytest.fixture(scope="session")
+def cpu_saturation_result():
+    return run_cpu_saturation(CPUSaturationConfig())
+
+
+@pytest.fixture(scope="session")
+def buffer_partitioning_result():
+    return run_buffer_partitioning(BufferPartitioningConfig())

@@ -1,0 +1,80 @@
+"""Integration tests: asynchronous replication under the full harness."""
+
+import pytest
+
+from repro.cluster.replica import Replica
+from repro.cluster.resource_manager import ResourceManager
+from repro.cluster.scheduler import Scheduler
+from repro.cluster.server import PhysicalServer
+from repro.core.controller import ClusterController
+from repro.experiments.runner import ClusterHarness
+from repro.workloads.tpcw import build_tpcw
+
+
+def make_async_harness(replicas=3, clients=10, delay=0.05):
+    workload = build_tpcw(seed=13)
+    manager = ResourceManager()
+    controller = ClusterController(manager)
+    harness = ClusterHarness(controller)
+    scheduler = Scheduler(
+        workload.app,
+        async_replication=True,
+        propagation_delay=delay,
+        interval_length=controller.config.interval_length,
+    )
+    controller.add_scheduler(scheduler)
+    for index in range(replicas):
+        server = PhysicalServer(f"s{index}")
+        manager.add_server(server)
+        replica = Replica.create(f"{workload.app}-r{index + 1}", workload.app, server)
+        scheduler.add_replica(replica)
+        controller.track_replica(replica)
+    harness.attach_workload(workload, clients)
+    return workload, harness, scheduler
+
+
+class TestAsyncUnderLoad:
+    def test_runs_and_serves_queries(self):
+        _, harness, _ = make_async_harness()
+        result = harness.run(intervals=4)
+        assert result.final_report("tpcw").throughput > 0
+
+    def test_consistency_restored_each_interval(self):
+        _, harness, scheduler = make_async_harness()
+        harness.run(intervals=4)
+        # The controller drains pending writes at every interval close.
+        assert scheduler.replication.fully_consistent
+
+    def test_all_replicas_receive_all_writes(self):
+        _, harness, scheduler = make_async_harness()
+        harness.run(intervals=4)
+        committed = scheduler.replication.committed
+        assert committed > 0
+        for name in scheduler.replica_names():
+            assert scheduler.replicas[name].applied_writes == committed
+
+    def test_deterministic(self):
+        _, a, _ = make_async_harness()
+        _, b, _ = make_async_harness()
+        assert (
+            a.run(intervals=3).mean_latency_series("tpcw")
+            == b.run(intervals=3).mean_latency_series("tpcw")
+        )
+
+    def test_reads_spread_across_replicas(self):
+        _, harness, scheduler = make_async_harness()
+        harness.run(intervals=4)
+        executions = [
+            scheduler.replicas[name].engine.executor.executions
+            for name in scheduler.replica_names()
+        ]
+        # Every replica serves a meaningful share of the traffic.
+        assert min(executions) > 0.1 * max(executions)
+
+    def test_long_delay_concentrates_reads(self):
+        # With a propagation delay much longer than the interval, lagging
+        # replicas spend most of their time out of the read set.
+        _, harness, scheduler = make_async_harness(delay=1e6)
+        harness.run(intervals=3)
+        current = scheduler.replication.current_replicas()
+        assert len(current) < len(scheduler.replica_names())

@@ -1,0 +1,50 @@
+"""Integration tests for the §5.2 sine-load CPU-saturation scenario (Fig. 3)."""
+
+
+class TestFigure3Shape:
+    def test_load_follows_sine(self, cpu_saturation_result):
+        loads = [c for _, c in cpu_saturation_result.load_series]
+        peak, trough = max(loads), min(loads)
+        assert peak > 2 * max(trough, 1)
+
+    def test_allocation_scales_up_under_load(self, cpu_saturation_result):
+        assert cpu_saturation_result.peak_replicas >= 2
+
+    def test_allocation_scales_back_down(self, cpu_saturation_result):
+        # The machine-allocation curve must recede with the sine's trough.
+        allocations = [a for _, a in cpu_saturation_result.allocation_series]
+        peak_index = allocations.index(max(allocations))
+        assert min(allocations[peak_index:]) < max(allocations)
+
+    def test_allocation_tracks_load_direction(self, cpu_saturation_result):
+        loads = [c for _, c in cpu_saturation_result.load_series]
+        allocations = [a for _, a in cpu_saturation_result.allocation_series]
+        n = len(loads)
+        high_load_alloc = max(
+            a for (_, a), l in zip(cpu_saturation_result.allocation_series, loads) if l >= sorted(loads)[int(0.8 * n)]
+        )
+        low_load_alloc = min(
+            a for (_, a), l in zip(cpu_saturation_result.allocation_series, loads) if l <= sorted(loads)[int(0.2 * n)]
+        )
+        assert high_load_alloc > low_load_alloc
+
+    def test_latency_recovers_after_provisioning(self, cpu_saturation_result):
+        # Violations occur, then the SLA is restored (Figure 3c).
+        latencies = [l for _, l in cpu_saturation_result.latency_series]
+        sla = cpu_saturation_result.sla_latency
+        first_violation = next(
+            (i for i, l in enumerate(latencies) if l > sla), None
+        )
+        assert first_violation is not None, "the ramp must violate the SLA"
+        assert any(l <= sla for l in latencies[first_violation + 1 :])
+
+    def test_violations_bounded(self, cpu_saturation_result):
+        # Reactive provisioning restores the SLA within a few intervals.
+        assert 1 <= cpu_saturation_result.violations_before_recovery <= 6
+
+    def test_series_aligned(self, cpu_saturation_result):
+        assert (
+            len(cpu_saturation_result.load_series)
+            == len(cpu_saturation_result.latency_series)
+            == len(cpu_saturation_result.allocation_series)
+        )

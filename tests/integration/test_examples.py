@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; a broken example is a broken
+release.  The slow, scenario-heavy scripts are exercised through their
+underlying drivers elsewhere, so here each script just has to finish and
+print its headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", "Per-interval SLA accounting"),
+    ("mrc_explorer.py", "acceptable"),
+    ("lock_anomaly.py", "aggressor: tpcw/admin_update"),
+    ("index_misconfiguration.py", "Outlier context detection"),
+    ("offline_trace_analysis.py", "per-class MRC parameters"),
+]
+
+SLOW_EXAMPLES = [
+    ("consolidation_contention.py", "SearchItemsByRegion"),
+    ("virtualized_io_contention.py", "heaviest context"),
+    ("capacity_follows_load.py", "replica allocation"),
+]
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+@pytest.mark.parametrize("name,marker", FAST_EXAMPLES)
+def test_fast_example(name, marker):
+    assert marker in run_example(name)
+
+
+@pytest.mark.parametrize("name,marker", SLOW_EXAMPLES)
+def test_slow_example(name, marker):
+    assert marker in run_example(name)
+
+
+def test_every_example_is_covered():
+    covered = {name for name, _ in FAST_EXAMPLES + SLOW_EXAMPLES}
+    on_disk = {path.name for path in EXAMPLES.glob("*.py")}
+    assert covered == on_disk

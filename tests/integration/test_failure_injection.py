@@ -1,0 +1,89 @@
+"""Failure-injection integration tests.
+
+The cluster substrate must degrade gracefully when replicas fail mid-run:
+reads route around offline replicas, writes survive on the remainder, and
+a recovered replica rejoins the read set.
+"""
+
+import pytest
+
+from repro.experiments.runner import ClusterHarness
+from repro.workloads.tpcw import build_tpcw
+
+
+def make_harness(servers=3, clients=8):
+    return ClusterHarness.single_app(
+        build_tpcw(seed=21), servers=servers, clients=clients
+    )
+
+
+class TestReplicaFailure:
+    def test_reads_survive_replica_failure(self):
+        harness = make_harness()
+        scheduler = harness.scheduler("tpcw")
+        harness.resource_manager.allocate_replica(scheduler, 0.0)
+        for replica in scheduler.replicas.values():
+            harness.controller.track_replica(replica)
+        harness.run(intervals=2)
+        # Fail one of the two replicas mid-run.
+        victim = scheduler.replicas[scheduler.replica_names()[0]]
+        victim.fail()
+        result = harness.run(intervals=2)
+        assert result.final_report("tpcw").throughput > 0
+
+    def test_failed_replica_serves_nothing(self):
+        harness = make_harness()
+        scheduler = harness.scheduler("tpcw")
+        harness.resource_manager.allocate_replica(scheduler, 0.0)
+        for replica in scheduler.replicas.values():
+            harness.controller.track_replica(replica)
+        victim = scheduler.replicas[scheduler.replica_names()[0]]
+        victim.fail()
+        before = victim.engine.executor.executions
+        harness.run(intervals=2)
+        # Reads route around it; synchronous writes skip offline replicas.
+        assert victim.engine.executor.executions == before
+
+    def test_recovered_replica_rejoins(self):
+        harness = make_harness()
+        scheduler = harness.scheduler("tpcw")
+        harness.resource_manager.allocate_replica(scheduler, 0.0)
+        for replica in scheduler.replicas.values():
+            harness.controller.track_replica(replica)
+        victim = scheduler.replicas[scheduler.replica_names()[0]]
+        victim.fail()
+        harness.run(intervals=1)
+        victim.recover()
+        # The replica missed writes while down: it rejoins the read/write
+        # sets only after replaying them from the scheduler's write log.
+        assert not scheduler.replication.is_current(victim.name)
+        replayed = scheduler.catch_up(victim.name, harness.clock.now)
+        assert replayed > 0
+        assert scheduler.replication.is_current(victim.name)
+        before = victim.engine.executor.executions
+        harness.run(intervals=2)
+        assert victim.engine.executor.executions > before
+
+    def test_single_replica_failure_stalls_app(self):
+        harness = make_harness(servers=1)
+        scheduler = harness.scheduler("tpcw")
+        replica = scheduler.replicas[scheduler.replica_names()[0]]
+        replica.fail()
+        with pytest.raises(RuntimeError):
+            harness.run(intervals=1)
+
+
+class TestWriteDivergence:
+    def test_synchronous_writes_keep_survivors_consistent(self):
+        harness = make_harness()
+        scheduler = harness.scheduler("tpcw")
+        harness.resource_manager.allocate_replica(scheduler, 0.0)
+        for replica in scheduler.replicas.values():
+            harness.controller.track_replica(replica)
+        names = scheduler.replica_names()
+        scheduler.replicas[names[0]].fail()
+        harness.run(intervals=2)
+        # The survivor acknowledged every committed write.
+        assert scheduler.replication.is_current(names[1])
+        # The failed replica is now behind and excluded from reads.
+        assert not scheduler.replication.is_current(names[0])

@@ -1,0 +1,117 @@
+"""Integration tests for the cluster harness itself."""
+
+import pytest
+
+from repro.cluster.server import ServerSpec
+from repro.core.controller import ControllerConfig
+from repro.experiments.runner import ClusterHarness
+from repro.workloads.load import ConstantLoad
+from repro.workloads.rubis import build_rubis
+from repro.workloads.tpcw import build_tpcw
+
+
+class TestSingleAppBuilder:
+    def test_wires_one_replica(self):
+        harness = ClusterHarness.single_app(build_tpcw(), servers=2, clients=5)
+        assert len(harness.scheduler("tpcw").replicas) == 1
+        assert harness.resource_manager.pool_size == 2
+
+    def test_run_produces_reports(self):
+        harness = ClusterHarness.single_app(build_tpcw(), servers=2, clients=5)
+        result = harness.run(intervals=2)
+        assert len(result.timeline("tpcw")) == 2
+        assert result.final_report("tpcw").throughput > 0
+
+    def test_deterministic_runs(self):
+        a = ClusterHarness.single_app(build_tpcw(seed=9), servers=2, clients=8)
+        b = ClusterHarness.single_app(build_tpcw(seed=9), servers=2, clients=8)
+        ra = a.run(intervals=3).mean_latency_series("tpcw")
+        rb = b.run(intervals=3).mean_latency_series("tpcw")
+        assert ra == rb
+
+    def test_clock_advances(self):
+        harness = ClusterHarness.single_app(build_tpcw(), servers=1, clients=2)
+        harness.run(intervals=3)
+        assert harness.clock.now == pytest.approx(30.0)
+
+    def test_rejects_bad_interval_count(self):
+        harness = ClusterHarness.single_app(build_tpcw(), servers=1, clients=2)
+        with pytest.raises(ValueError):
+            harness.run(intervals=0)
+
+
+class TestSharedEngineBuilder:
+    def test_apps_share_one_engine(self):
+        harness = ClusterHarness.shared_engine(
+            [build_tpcw(), build_rubis()],
+            clients={"tpcw": 3, "rubis": 3},
+        )
+        tpcw_engine = harness.replicas_of("tpcw")[0].engine
+        rubis_engine = harness.replicas_of("rubis")[0].engine
+        assert tpcw_engine is rubis_engine
+
+    def test_both_apps_report(self):
+        harness = ClusterHarness.shared_engine(
+            [build_tpcw(), build_rubis()],
+            clients={"tpcw": 3, "rubis": 3},
+        )
+        result = harness.run(intervals=2)
+        assert result.timeline("tpcw") and result.timeline("rubis")
+
+    def test_spare_servers_in_pool(self):
+        harness = ClusterHarness.shared_engine(
+            [build_tpcw()], spare_servers=3, clients={"tpcw": 2}
+        )
+        assert harness.resource_manager.pool_size == 4
+
+
+class TestHooks:
+    def test_hook_fires_at_interval(self):
+        harness = ClusterHarness.single_app(build_tpcw(), servers=1, clients=2)
+        fired = []
+        harness.at_interval(1, lambda h: fired.append(h.clock.now))
+        harness.run(intervals=3)
+        assert fired == [10.0]
+
+    def test_hook_can_change_load(self):
+        harness = ClusterHarness.single_app(build_tpcw(), servers=1, clients=2)
+
+        def surge(h):
+            h.drivers["tpcw"].load = ConstantLoad(20)
+
+        harness.at_interval(1, surge)
+        result = harness.run(intervals=3)
+        series = result.throughput_series("tpcw")
+        assert series[-1] > 2 * series[0]
+
+    def test_negative_interval_rejected(self):
+        harness = ClusterHarness.single_app(build_tpcw(), servers=1, clients=2)
+        with pytest.raises(ValueError):
+            harness.at_interval(-1, lambda h: None)
+
+
+class TestResultAccessors:
+    def test_steady_metrics_skip_empty_intervals(self):
+        harness = ClusterHarness.single_app(build_tpcw(), servers=1, clients=3)
+        result = harness.run(intervals=4)
+        assert result.steady_mean_latency("tpcw") > 0.0
+        assert result.steady_throughput("tpcw") > 0.0
+
+    def test_unknown_app_timeline_empty(self):
+        harness = ClusterHarness.single_app(build_tpcw(), servers=1, clients=2)
+        result = harness.run(intervals=1)
+        assert result.timeline("ghost") == []
+        with pytest.raises(KeyError):
+            result.final_report("ghost")
+
+    def test_custom_spec_and_config_applied(self):
+        harness = ClusterHarness.single_app(
+            build_tpcw(),
+            servers=1,
+            clients=2,
+            server_spec=ServerSpec(cores=16),
+            config=ControllerConfig(interval_length=5.0),
+        )
+        assert harness.interval_length == 5.0
+        server = harness.resource_manager.servers()[0]
+        assert server.spec.cores == 16

@@ -1,0 +1,97 @@
+"""Integration tests for the §5.3 index-drop scenario (Figure 4, Table 1).
+
+Asserted shape (not absolute numbers): dropping ``O_DATE`` violates the
+SLA; outlier detection flags BestSeller (and innocent-bystander classes
+such as NewProducts); the recomputed MRC is significantly flatter; a
+buffer-pool quota for BestSeller is enforced; and the application recovers.
+"""
+
+from repro.core.diagnosis import ActionKind
+from repro.workloads.tpcw import BEST_SELLER, NEW_PRODUCTS
+
+
+class TestViolationAndDetection:
+    def test_baseline_meets_sla(self, index_drop_result):
+        assert index_drop_result.latency_before < 1.0
+
+    def test_drop_violates_sla(self, index_drop_result):
+        assert index_drop_result.latency_violation > 1.0
+
+    def test_degradation_factor_significant(self, index_drop_result):
+        # The paper saw ~3.3x (600 ms -> 2 s); require at least 2x.
+        assert (
+            index_drop_result.latency_violation
+            > 2.0 * index_drop_result.latency_before
+        )
+
+    def test_best_seller_flagged_as_outlier(self, index_drop_result):
+        assert f"tpcw/{BEST_SELLER}" in index_drop_result.outlier_contexts
+
+    def test_new_products_among_outliers(self, index_drop_result):
+        # The paper found six mild outliers including NewProducts (#9).
+        assert f"tpcw/{NEW_PRODUCTS}" in index_drop_result.outlier_contexts
+
+    def test_multiple_outliers_detected(self, index_drop_result):
+        assert len(index_drop_result.outlier_contexts) >= 2
+
+
+class TestFigure4Ratios:
+    def test_best_seller_latency_ratio_dominates(self, index_drop_result):
+        latency_ratios = index_drop_result.ratios["latency"]
+        assert latency_ratios[8] == max(latency_ratios.values())
+        assert latency_ratios[8] > 2.0
+
+    def test_best_seller_readahead_spike(self, index_drop_result):
+        # Read-ahead goes from ~zero to massive: the Figure 4(d) signature.
+        readahead_ratios = index_drop_result.ratios["readaheads"]
+        assert readahead_ratios[8] == max(readahead_ratios.values())
+        assert readahead_ratios[8] > 100.0
+
+    def test_all_four_panels_present(self, index_drop_result):
+        for panel in ("latency", "throughput", "misses", "readaheads"):
+            assert len(index_drop_result.ratios[panel]) >= 10
+
+
+class TestMrcRecomputation:
+    def test_mrc_recorded_before_and_after(self, index_drop_result):
+        assert index_drop_result.mrc_before is not None
+        assert index_drop_result.mrc_after is not None
+
+    def test_degraded_plan_changes_parameters(self, index_drop_result):
+        before = index_drop_result.mrc_before
+        after = index_drop_result.mrc_after
+        assert after.significantly_differs_from(before)
+
+    def test_degraded_curve_is_flatter(self, index_drop_result):
+        # Less achievable hit ratio: the ideal miss ratio goes up.
+        assert (
+            index_drop_result.mrc_after.ideal_miss_ratio
+            > index_drop_result.mrc_before.ideal_miss_ratio
+        )
+
+
+class TestReaction:
+    def test_quota_enforced_for_best_seller(self, index_drop_result):
+        quota_actions = [
+            a for a in index_drop_result.actions if a.kind is ActionKind.APPLY_QUOTAS
+        ]
+        assert quota_actions, "expected a quota-enforcement action"
+        assert any(
+            f"tpcw/{BEST_SELLER}" in a.quota_map() for a in quota_actions
+        )
+
+    def test_quota_magnitude_plausible(self, index_drop_result):
+        # The paper's quota was 3695 of 8192 pages; ours must be in the
+        # same regime: well below the full pool, above the minimum.
+        for action in index_drop_result.actions:
+            for context, pages in action.quota_map().items():
+                if context == f"tpcw/{BEST_SELLER}":
+                    assert 256 <= pages <= 7000
+
+    def test_recovery_below_violation(self, index_drop_result):
+        assert (
+            index_drop_result.latency_after < index_drop_result.latency_violation
+        )
+
+    def test_recovery_meets_sla(self, index_drop_result):
+        assert index_drop_result.latency_after < 1.0

@@ -1,0 +1,39 @@
+"""Integration tests for the lock-contention (wrong arguments) scenario."""
+
+import pytest
+
+from repro.experiments.lock_contention import (
+    LockContentionConfig,
+    run_lock_contention,
+)
+
+
+@pytest.fixture(scope="module")
+def lock_result():
+    return run_lock_contention(LockContentionConfig())
+
+
+class TestWrongArgumentsScenario:
+    def test_baseline_meets_sla(self, lock_result):
+        assert lock_result.latency_before < 1.0
+
+    def test_baseline_has_negligible_lock_waits(self, lock_result):
+        assert lock_result.baseline_lock_wait_share < 0.05
+
+    def test_fault_violates_sla(self, lock_result):
+        assert lock_result.latency_during > 1.0
+
+    def test_lock_waits_dominate_during_fault(self, lock_result):
+        assert lock_result.lock_wait_share > 0.5
+
+    def test_aggressor_correctly_named(self, lock_result):
+        assert lock_result.reported_aggressor == "tpcw/admin_update"
+
+    def test_report_emitted(self, lock_result):
+        assert lock_result.reports
+        report = lock_result.reports[0]
+        assert "lock waits" in report.reason
+        assert "tpcw/admin_update" in report.reason
+
+    def test_victims_actually_waited(self, lock_result):
+        assert lock_result.victim_wait_time > 0.0

@@ -1,0 +1,57 @@
+"""Integration tests for the §5.4 shared-buffer-pool scenario (Table 2)."""
+
+from repro.core.diagnosis import ActionKind
+from repro.workloads.rubis import SEARCH_ITEMS_BY_REGION
+
+
+class TestTable2Shape:
+    def test_three_rows(self, memory_contention_result):
+        assert len(memory_contention_result.rows) == 3
+
+    def test_baseline_meets_sla(self, memory_contention_result):
+        assert memory_contention_result.rows[0].latency < 1.0
+
+    def test_contention_violates_sla(self, memory_contention_result):
+        assert memory_contention_result.rows[1].latency > 1.0
+
+    def test_contention_latency_blowup(self, memory_contention_result):
+        # The paper saw a tenfold latency increase; require at least 5x.
+        baseline, contended, _ = memory_contention_result.rows
+        assert contended.latency > 5.0 * baseline.latency
+
+    def test_contention_throughput_drop(self, memory_contention_result):
+        # The paper's throughput halved (8.73 -> 4.29 WIPS).
+        baseline, contended, _ = memory_contention_result.rows
+        assert contended.throughput < 0.75 * baseline.throughput
+
+    def test_recovery_after_move(self, memory_contention_result):
+        baseline, contended, recovered = memory_contention_result.rows
+        assert recovered.latency < contended.latency / 2
+        assert recovered.throughput > contended.throughput
+
+    def test_recovery_near_baseline(self, memory_contention_result):
+        baseline, _, recovered = memory_contention_result.rows
+        assert recovered.throughput > 0.8 * baseline.throughput
+
+
+class TestDiagnosisPath:
+    def test_search_items_by_region_rescheduled(self, memory_contention_result):
+        assert memory_contention_result.rescheduled_context == (
+            f"rubis/{SEARCH_ITEMS_BY_REGION}"
+        )
+
+    def test_action_is_reschedule_not_quota(self, memory_contention_result):
+        # SearchItemsByRegion needs ~7900 pages; no feasible quota exists on
+        # an 8192-page pool shared with TPC-W, so the class must move.
+        kinds = {a.kind for a in memory_contention_result.actions}
+        assert ActionKind.RESCHEDULE_CLASS in kinds
+
+    def test_no_coarse_fallback_needed(self, memory_contention_result):
+        kinds = {a.kind for a in memory_contention_result.actions}
+        assert ActionKind.COARSE_FALLBACK not in kinds
+
+    def test_tpcw_classes_not_rescheduled(self, memory_contention_result):
+        # The incumbent's classes are exonerated by unchanged MRCs.
+        for action in memory_contention_result.actions:
+            if action.kind is ActionKind.RESCHEDULE_CLASS:
+                assert action.context_key.startswith("rubis/")

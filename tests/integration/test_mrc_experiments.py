@@ -1,0 +1,80 @@
+"""Integration tests for the Figure 5/6 miss-ratio-curve experiments."""
+
+import pytest
+
+from repro.experiments.mrc_curves import (
+    run_fig5_bestseller,
+    run_fig5_bestseller_degraded,
+    run_fig6_search_items_by_region,
+)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5_bestseller(executions=300)
+
+
+@pytest.fixture(scope="module")
+def fig5_degraded():
+    return run_fig5_bestseller_degraded(executions=60)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6_search_items_by_region(executions=150)
+
+
+class TestFig5BestSeller:
+    def test_acceptable_memory_near_paper(self, fig5):
+        # Paper: 6982 pages.  Same regime, not exact numbers.
+        assert 5000 <= fig5.params.acceptable_memory <= 8192
+
+    def test_curve_declines(self, fig5):
+        ratios = dict(fig5.samples)
+        sizes = sorted(ratios)
+        assert ratios[sizes[0]] > ratios[sizes[-1]] + 0.3
+
+    def test_monotone_samples(self, fig5):
+        previous = 1.1
+        for _, ratio in fig5.samples:
+            assert ratio <= previous + 1e-9
+            previous = ratio
+
+
+class TestFig5Degraded:
+    def test_degraded_needs_less_quota(self, fig5, fig5_degraded):
+        # Paper: 3695 vs 6982 pages — the flatter curve's knee moves left.
+        assert (
+            fig5_degraded.params.acceptable_memory
+            < fig5.params.acceptable_memory
+        )
+
+    def test_degraded_curve_flatter(self, fig5, fig5_degraded):
+        # A much higher floor: caching can no longer absorb the plan.
+        assert (
+            fig5_degraded.params.ideal_miss_ratio
+            > fig5.params.ideal_miss_ratio + 0.3
+        )
+
+    def test_degraded_has_longer_tail(self, fig5, fig5_degraded):
+        # "The MRC curve of the BestSeller without index has a longer tail"
+        assert fig5_degraded.params.total_memory >= fig5.params.total_memory
+
+
+class TestFig6SearchItemsByRegion:
+    def test_acceptable_memory_near_paper(self, fig6):
+        # Paper: 7906 pages — nearly the whole 8192-page pool.
+        assert 6500 <= fig6.params.acceptable_memory <= 8192
+
+    def test_cannot_be_colocated_with_best_seller(self, fig5, fig6):
+        # The §5.4 argument: 6982 + 7906 >> 8192.
+        combined = fig5.params.acceptable_memory + fig6.params.acceptable_memory
+        assert combined > 8192
+
+    def test_curve_metadata(self, fig6):
+        assert fig6.trace_length > 10_000
+        assert fig6.context == "rubis/search_items_by_region"
+
+    def test_table_rendering(self, fig6):
+        rendered = fig6.to_table().render()
+        assert "Miss Ratio Curve" in rendered

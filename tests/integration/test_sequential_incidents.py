@@ -1,0 +1,81 @@
+"""A long cluster life with sequential incidents.
+
+One harness, three phases: stable operation, the index-drop incident (and
+its recovery), then a load surge (and reactive provisioning).  The point is
+that the controller handles *consecutive* incidents: signatures re-stabilise
+between them and the second diagnosis is not confused by the first.
+"""
+
+import pytest
+
+from repro.core.controller import ControllerConfig
+from repro.core.diagnosis import ActionKind
+from repro.experiments.index_drop import (
+    CPU_SCALE,
+    EXPERIMENT_COST_MODEL,
+    scale_cpu_costs,
+)
+from repro.experiments.runner import ClusterHarness
+from repro.workloads.load import ConstantLoad
+from repro.workloads.tpcw import O_DATE_INDEX, build_tpcw
+
+
+@pytest.fixture(scope="module")
+def life():
+    workload = build_tpcw(seed=7)
+    scale_cpu_costs(workload, CPU_SCALE)
+    harness = ClusterHarness.single_app(
+        workload,
+        servers=4,
+        clients=60,
+        cost_model=EXPERIMENT_COST_MODEL,
+        config=ControllerConfig(fallback_patience=4),
+    )
+    phases = {}
+    phases["stable"] = harness.run(intervals=12)
+    workload.catalog.drop(O_DATE_INDEX)
+    phases["incident1"] = harness.run(intervals=8)
+    phases["recovery1"] = harness.run(intervals=8)
+    harness.drivers["tpcw"].load = ConstantLoad(220)
+    phases["incident2"] = harness.run(intervals=8)
+    phases["recovery2"] = harness.run(intervals=6)
+    return workload, harness, phases
+
+
+class TestSequentialIncidents:
+    def test_stable_phase_meets_sla(self, life):
+        _, _, phases = life
+        assert all(phases["stable"].sla_series("tpcw")[2:])
+
+    def test_first_incident_diagnosed_as_memory(self, life):
+        _, harness, _ = life
+        kinds = [a.kind for a in harness.controller.actions_taken("tpcw")]
+        assert ActionKind.APPLY_QUOTAS in kinds
+
+    def test_first_incident_recovers(self, life):
+        _, _, phases = life
+        assert phases["recovery1"].steady_mean_latency("tpcw") < 1.0
+
+    def test_surge_triggers_provisioning(self, life):
+        _, harness, _ = life
+        scheduler = harness.scheduler("tpcw")
+        assert len(scheduler.replicas) >= 2
+
+    def test_second_incident_recovers(self, life):
+        _, _, phases = life
+        assert phases["recovery2"].steady_mean_latency("tpcw") < 1.0
+
+    def test_throughput_scales_with_surge(self, life):
+        _, _, phases = life
+        assert (
+            phases["recovery2"].steady_throughput("tpcw")
+            > 1.5 * phases["stable"].steady_throughput("tpcw")
+        )
+
+    def test_quota_survives_later_incidents(self, life):
+        _, harness, _ = life
+        # The quota enforced during incident 1 is still in force on the
+        # original replica after incident 2's provisioning.
+        original = harness.scheduler("tpcw").replicas.get("tpcw-r1")
+        assert original is not None
+        assert "tpcw/best_seller" in original.engine.quotas

@@ -1,0 +1,75 @@
+"""Property-based tests for read-one-write-all consistency bookkeeping."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.consistency import ReplicationState
+
+REPLICAS = ["r1", "r2", "r3"]
+
+
+@st.composite
+def op_sequences(draw):
+    """Random interleavings of writes and per-replica (in-order) acks."""
+    n_writes = draw(st.integers(min_value=0, max_value=20))
+    # For each replica: how many of the writes it has acknowledged.
+    acked = {name: draw(st.integers(min_value=0, max_value=n_writes)) for name in REPLICAS}
+    return n_writes, acked
+
+
+@given(data=op_sequences())
+@settings(max_examples=100, deadline=None)
+def test_watermarks_never_exceed_committed(data):
+    n_writes, acked = data
+    state = ReplicationState(app="a")
+    for name in REPLICAS:
+        state.add_replica(name)
+    tokens = [state.begin_write() for _ in range(n_writes)]
+    for name, count in acked.items():
+        for token in tokens[:count]:
+            state.acknowledge(name, token)
+    for name in REPLICAS:
+        assert 0 <= state.watermarks[name] <= state.committed
+
+
+@given(data=op_sequences())
+@settings(max_examples=100, deadline=None)
+def test_current_replicas_have_all_writes(data):
+    n_writes, acked = data
+    state = ReplicationState(app="a")
+    for name in REPLICAS:
+        state.add_replica(name)
+    tokens = [state.begin_write() for _ in range(n_writes)]
+    for name, count in acked.items():
+        for token in tokens[:count]:
+            state.acknowledge(name, token)
+    for name in state.current_replicas():
+        assert acked[name] == n_writes  # one-copy view: reads see all writes
+
+
+@given(data=op_sequences())
+@settings(max_examples=100, deadline=None)
+def test_lag_is_committed_minus_acked(data):
+    n_writes, acked = data
+    state = ReplicationState(app="a")
+    for name in REPLICAS:
+        state.add_replica(name)
+    tokens = [state.begin_write() for _ in range(n_writes)]
+    for name, count in acked.items():
+        for token in tokens[:count]:
+            state.acknowledge(name, token)
+    for name in REPLICAS:
+        assert state.lag_of(name) == n_writes - acked[name]
+
+
+@given(n_writes=st.integers(min_value=0, max_value=30))
+@settings(max_examples=50, deadline=None)
+def test_fully_acked_system_consistent(n_writes):
+    state = ReplicationState(app="a")
+    for name in REPLICAS:
+        state.add_replica(name)
+    for _ in range(n_writes):
+        token = state.begin_write()
+        for name in REPLICAS:
+            state.acknowledge(name, token)
+    assert state.fully_consistent
+    assert state.current_replicas() == sorted(REPLICAS)

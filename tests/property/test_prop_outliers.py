@@ -1,0 +1,122 @@
+"""Property-based tests for IQR outlier detection."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metrics import Metric, MetricVector
+from repro.core.outliers import (
+    Severity,
+    compute_weights,
+    detect_outliers,
+    iqr_fences,
+    top_k_heavyweight,
+)
+
+values = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
+
+
+@given(sample=values)
+@settings(max_examples=80, deadline=None)
+def test_fences_ordered(sample):
+    fences = iqr_fences(sample)
+    assert fences.q1 <= fences.q3
+    inner_low, inner_high = fences.inner
+    outer_low, outer_high = fences.outer
+    assert outer_low <= inner_low <= inner_high <= outer_high
+
+
+def _clear_of_boundaries(fences, value, tolerance):
+    """Whether ``value`` sits comfortably away from every fence boundary
+    (floating-point rounding flips classifications exactly on a fence)."""
+    boundaries = [*fences.inner, *fences.outer]
+    return all(abs(value - b) > tolerance for b in boundaries)
+
+
+@given(sample=values, shift=st.floats(min_value=-100.0, max_value=100.0))
+@settings(max_examples=80, deadline=None)
+def test_classification_shift_invariant(sample, shift):
+    """Shifting every value by a constant shifts fences equally, so each
+    point's severity is unchanged (away from exact fence boundaries)."""
+    fences = iqr_fences(sample)
+    shifted = iqr_fences([v + shift for v in sample])
+    tolerance = 1e-6 * max(1.0, max(abs(v) for v in sample))
+    for value in sample:
+        if _clear_of_boundaries(fences, value, tolerance):
+            assert fences.classify(value) == shifted.classify(value + shift)
+
+
+@given(sample=values, scale=st.floats(min_value=0.01, max_value=100.0))
+@settings(max_examples=80, deadline=None)
+def test_classification_scale_invariant(sample, scale):
+    fences = iqr_fences(sample)
+    scaled = iqr_fences([v * scale for v in sample])
+    tolerance = 1e-6 * max(1.0, max(abs(v) for v in sample))
+    for value in sample:
+        if _clear_of_boundaries(fences, value, tolerance):
+            assert fences.classify(value) == scaled.classify(value * scale)
+
+
+@given(sample=values)
+@settings(max_examples=80, deadline=None)
+def test_extreme_implies_outside_inner_fence(sample):
+    fences = iqr_fences(sample)
+    for value in sample:
+        if fences.classify(value) is Severity.EXTREME:
+            low, high = fences.inner
+            assert value < low or value > high
+
+
+@given(
+    by_context=st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_weights_floor_is_one_for_positive(by_context):
+    vectors = {
+        key: MetricVector(key, {Metric.MISSES: value})
+        for key, value in by_context.items()
+    }
+    weights = compute_weights(vectors, Metric.MISSES)
+    positives = [w for k, w in weights.items() if by_context[k] > 0]
+    if positives:
+        assert min(positives) >= 1.0 - 1e-9
+
+
+@given(
+    base=st.floats(min_value=1.0, max_value=100.0),
+    n=st.integers(min_value=6, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_uniform_population_has_no_outliers(base, n):
+    current = {f"q{i}": MetricVector(f"q{i}", {Metric.MISSES: base}) for i in range(n)}
+    stable = dict(current)
+    report = detect_outliers(current, stable, metrics=(Metric.MISSES,))
+    assert report.is_empty
+
+
+@given(
+    by_context=st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+        st.one_of(
+            st.just(0.0), st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    k=st.integers(min_value=1, max_value=25),
+)
+@settings(max_examples=60, deadline=None)
+def test_top_k_size_and_order(by_context, k):
+    vectors = {
+        key: MetricVector(key, {Metric.MISSES: value})
+        for key, value in by_context.items()
+    }
+    ranked = top_k_heavyweight(vectors, k=k)
+    assert len(ranked) == min(k, len(vectors))
+    misses = [by_context[key] for key in ranked]
+    assert misses == sorted(misses, reverse=True)

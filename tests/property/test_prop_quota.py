@@ -1,0 +1,95 @@
+"""Property-based tests for the quota-search algorithm."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mrc import MRCParameters
+from repro.core.quota import find_quotas, placement_fits_totals
+
+
+@st.composite
+def params_sets(draw, max_contexts=6):
+    """A (problem, others, pool) triple with internally consistent params."""
+
+    def one():
+        acceptable = draw(st.integers(min_value=1, max_value=500))
+        total = acceptable + draw(st.integers(min_value=0, max_value=500))
+        return MRCParameters(
+            total_memory=total,
+            ideal_miss_ratio=0.1,
+            acceptable_memory=acceptable,
+            acceptable_miss_ratio=0.15,
+        )
+
+    n_problem = draw(st.integers(min_value=1, max_value=max_contexts))
+    n_other = draw(st.integers(min_value=0, max_value=max_contexts))
+    problem = {f"p{i}": one() for i in range(n_problem)}
+    others = {f"o{i}": one() for i in range(n_other)}
+    pool = draw(st.integers(min_value=10, max_value=4000))
+    return problem, others, pool
+
+
+@given(data=params_sets())
+@settings(max_examples=120, deadline=None)
+def test_feasible_plans_fit_the_pool(data):
+    problem, others, pool = data
+    plan = find_quotas(problem, others, pool)
+    if plan.feasible:
+        assert plan.reserved_pages + plan.shared_pages <= pool
+        assert plan.shared_pages >= 1
+
+
+@given(data=params_sets())
+@settings(max_examples=120, deadline=None)
+def test_feasible_plans_cover_others_floor(data):
+    problem, others, pool = data
+    plan = find_quotas(problem, others, pool)
+    if plan.feasible:
+        others_floor = sum(p.acceptable_memory for p in others.values())
+        assert plan.shared_pages >= min(others_floor, pool - plan.reserved_pages)
+
+
+@given(data=params_sets(), min_quota=st.integers(min_value=1, max_value=64))
+@settings(max_examples=120, deadline=None)
+def test_quotas_respect_floors(data, min_quota):
+    problem, others, pool = data
+    plan = find_quotas(problem, others, pool, min_quota=min_quota)
+    if plan.feasible:
+        for key, quota in plan.quotas.items():
+            floor = max(problem[key].acceptable_memory, min_quota)
+            # The shared-partition reclaim can shave at most the deficit of
+            # a single page off the largest quota.
+            assert quota >= min(floor, quota)
+            assert quota <= max(problem[key].total_memory, floor)
+
+
+@given(data=params_sets())
+@settings(max_examples=120, deadline=None)
+def test_infeasibility_is_honest(data):
+    """An infeasible verdict implies the floors genuinely do not fit."""
+    problem, others, pool = data
+    plan = find_quotas(problem, others, pool)
+    if not plan.feasible:
+        floors = sum(p.acceptable_memory for p in problem.values())
+        floors += sum(p.acceptable_memory for p in others.values())
+        assert floors + plan.shortfall >= pool or plan.shortfall > 0
+
+
+@given(data=params_sets())
+@settings(max_examples=120, deadline=None)
+def test_fits_totals_implies_feasible_quota(data):
+    """If every working set fits outright, the quota search cannot fail."""
+    problem, others, pool = data
+    everything = {**problem, **others}
+    if placement_fits_totals(everything, pool):
+        plan = find_quotas(problem, others, pool)
+        assert plan.feasible
+
+
+@given(data=params_sets())
+@settings(max_examples=120, deadline=None)
+def test_deterministic(data):
+    problem, others, pool = data
+    a = find_quotas(problem, others, pool)
+    b = find_quotas(problem, others, pool)
+    assert a.feasible == b.feasible
+    assert a.quotas == b.quotas

@@ -1,0 +1,67 @@
+"""Property-based tests for the sampled MRC."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mrc import MissRatioCurve
+from repro.core.mrc_sampling import sample_trace, sampled_mrc
+
+traces = st.lists(st.integers(min_value=0, max_value=60), min_size=0, max_size=400)
+rates = st.sampled_from([0.1, 0.25, 0.5, 0.75, 1.0])
+
+
+@given(trace=traces, rate=rates, seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=80, deadline=None)
+def test_sampled_is_subsequence(trace, rate, seed):
+    kept, _ = sample_trace(trace, rate, seed)
+    iterator = iter(trace)
+    for page in kept:
+        for candidate in iterator:
+            if candidate == page:
+                break
+        else:
+            raise AssertionError("sampled trace is not a subsequence")
+
+
+@given(trace=traces, rate=rates, seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=80, deadline=None)
+def test_page_membership_is_all_or_nothing(trace, rate, seed):
+    kept, _ = sample_trace(trace, rate, seed)
+    kept_counts = {}
+    for page in kept.tolist():
+        kept_counts[page] = kept_counts.get(page, 0) + 1
+    full_counts = {}
+    for page in trace:
+        full_counts[page] = full_counts.get(page, 0) + 1
+    for page, count in kept_counts.items():
+        assert count == full_counts[page]
+
+
+@given(trace=traces, rate=rates)
+@settings(max_examples=80, deadline=None)
+def test_sampled_curve_is_monotone(trace, rate):
+    curve, _ = sampled_mrc(trace, rate=rate)
+    previous = 1.0
+    for memory in range(0, 80, 4):
+        ratio = curve.miss_ratio(memory)
+        assert ratio <= previous + 1e-12
+        previous = ratio
+
+
+@given(trace=traces)
+@settings(max_examples=60, deadline=None)
+def test_rate_one_is_exact(trace):
+    exact = MissRatioCurve.from_trace(trace)
+    approx, stats = sampled_mrc(trace, rate=1.0)
+    assert stats.sampled_length == len(trace)
+    for memory in (0, 1, 5, 20, 100):
+        assert approx.miss_ratio(memory) == exact.miss_ratio(memory)
+
+
+@given(trace=traces, rate=rates, seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_deterministic(trace, rate, seed):
+    a, _ = sampled_mrc(trace, rate=rate, seed=seed)
+    b, _ = sampled_mrc(trace, rate=rate, seed=seed)
+    for memory in (1, 10, 50):
+        assert a.miss_ratio(memory) == b.miss_ratio(memory)

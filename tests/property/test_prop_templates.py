@@ -1,0 +1,67 @@
+"""Property-based tests for template normalisation and seeded randomness."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.query import normalize_template
+from repro.sim.rng import RandomStream, SeedSequenceFactory, ZipfGenerator
+
+sql_fragments = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_ =<>*,().", min_size=0, max_size=60
+)
+numbers = st.integers(min_value=0, max_value=10**9)
+
+
+@given(fragment=sql_fragments, number=numbers)
+@settings(max_examples=100, deadline=None)
+def test_numeric_literals_always_stripped(fragment, number):
+    template = normalize_template(f"select * from t where x = {number} {fragment}")
+    assert str(number) not in template or number <= 9 and "?" in template
+
+
+@given(fragment=sql_fragments)
+@settings(max_examples=100, deadline=None)
+def test_normalisation_idempotent(fragment):
+    once = normalize_template(fragment)
+    assert normalize_template(once) == once
+
+
+@given(a=numbers, b=numbers, fragment=sql_fragments)
+@settings(max_examples=100, deadline=None)
+def test_argument_values_never_split_classes(a, b, fragment):
+    """Two instances differing only in literals share a template."""
+    one = normalize_template(f"select {fragment} from t where k = {a}")
+    two = normalize_template(f"select {fragment} from t where k = {b}")
+    assert one == two
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31), name=st.text(max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_streams_reproducible(seed, name):
+    a = RandomStream(seed, name)
+    b = RandomStream(seed, name)
+    assert [a.uniform() for _ in range(3)] == [b.uniform() for _ in range(3)]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(min_value=1, max_value=500),
+    theta=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_zipf_samples_in_range(seed, n, theta):
+    factory = SeedSequenceFactory(seed)
+    zipf = ZipfGenerator(n, theta, factory.stream("z"))
+    for _ in range(20):
+        assert 0 <= zipf.sample() < n
+
+
+@given(
+    n=st.integers(min_value=2, max_value=200),
+    theta=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_zipf_mass_sums_to_one(n, theta):
+    factory = SeedSequenceFactory(0)
+    zipf = ZipfGenerator(n, theta, factory.stream("z"))
+    total = sum(zipf.probability(rank) for rank in range(n))
+    assert abs(total - 1.0) < 1e-9

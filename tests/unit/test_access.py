@@ -1,0 +1,245 @@
+"""Unit tests for the access-pattern generators."""
+
+import pytest
+
+from repro.engine.access import (
+    CompositePattern,
+    ExecutionAccess,
+    IndexLookup,
+    IndexRangeScan,
+    PlanSwitchingPattern,
+    SequentialChunkScan,
+    UniformWorkingSet,
+    ZipfWorkingSet,
+)
+from repro.engine.indexes import BTreeIndex, IndexCatalog
+from repro.engine.pages import PageSpaceAllocator
+from repro.engine.tables import Table
+from repro.sim.rng import SeedSequenceFactory
+
+
+@pytest.fixture
+def setup():
+    allocator = PageSpaceAllocator()
+    table = Table.create(allocator, "t", row_count=100_000, row_bytes=1024)
+    index = BTreeIndex.create(allocator, "idx", table)
+    seeds = SeedSequenceFactory(42)
+    return allocator, table, index, seeds
+
+
+class TestExecutionAccess:
+    def test_merged_concatenates(self):
+        a = ExecutionAccess(demand=[1], prefetch=[2])
+        b = ExecutionAccess(demand=[3], prefetch=[4])
+        merged = a.merged(b)
+        assert merged.demand == [1, 3]
+        assert merged.prefetch == [2, 4]
+
+    def test_total_pages(self):
+        assert ExecutionAccess(demand=[1, 2], prefetch=[3]).total_pages == 3
+
+
+class TestZipfWorkingSet:
+    def test_demand_count_fixed(self, setup):
+        _, table, _, seeds = setup
+        pattern = ZipfWorkingSet(table.pages, 100, 0.8, 25, seeds.stream("z"))
+        assert len(pattern.pages_for_execution().demand) == 25
+
+    def test_pages_within_working_set_layout(self, setup):
+        _, table, _, seeds = setup
+        pattern = ZipfWorkingSet(table.pages, 50, 0.8, 200, seeds.stream("z"))
+        pages = set()
+        for _ in range(20):
+            pages.update(pattern.pages_for_execution().demand)
+        assert len(pages) <= 50
+        assert all(table.pages.contains(p) for p in pages)
+
+    def test_footprint_is_working_set(self, setup):
+        _, table, _, seeds = setup
+        pattern = ZipfWorkingSet(table.pages, 77, 0.8, 10, seeds.stream("z"))
+        assert pattern.footprint_pages() == 77
+
+    def test_rejects_oversized_working_set(self, setup):
+        _, table, _, seeds = setup
+        with pytest.raises(ValueError):
+            ZipfWorkingSet(table.pages, table.page_count + 1, 0.8, 10, seeds.stream("z"))
+
+    def test_no_prefetch(self, setup):
+        _, table, _, seeds = setup
+        pattern = ZipfWorkingSet(table.pages, 100, 0.8, 10, seeds.stream("z"))
+        assert pattern.pages_for_execution().prefetch == []
+
+
+class TestUniformWorkingSet:
+    def test_near_uniform_coverage(self, setup):
+        _, table, _, seeds = setup
+        pattern = UniformWorkingSet(table.pages, 20, 10, seeds.stream("u"))
+        pages = set()
+        for _ in range(100):
+            pages.update(pattern.pages_for_execution().demand)
+        assert len(pages) == 20  # every page of a tiny set eventually touched
+
+    def test_footprint(self, setup):
+        _, table, _, seeds = setup
+        pattern = UniformWorkingSet(table.pages, 33, 5, seeds.stream("u"))
+        assert pattern.footprint_pages() == 33
+
+
+class TestSequentialChunkScan:
+    def test_consecutive_executions_advance(self, setup):
+        _, table, _, _ = setup
+        scan = SequentialChunkScan(table.pages, chunk=10, readahead=0, region=100)
+        first = scan.pages_for_execution().demand
+        second = scan.pages_for_execution().demand
+        assert first[-1] + 1 == second[0]
+
+    def test_wraps_at_region_end(self, setup):
+        _, table, _, _ = setup
+        scan = SequentialChunkScan(table.pages, chunk=60, readahead=0, region=100)
+        scan.pages_for_execution()
+        second = scan.pages_for_execution().demand
+        assert table.pages.page(0) in second  # wrapped back to region start
+
+    def test_prefetch_covers_chunk(self, setup):
+        _, table, _, _ = setup
+        scan = SequentialChunkScan(table.pages, chunk=10, readahead=4, region=100)
+        access = scan.pages_for_execution()
+        assert set(access.demand).issubset(set(access.prefetch))
+        assert len(access.prefetch) == 14  # chunk + lookahead
+
+    def test_region_clips_to_range(self, setup):
+        _, table, _, _ = setup
+        scan = SequentialChunkScan(table.pages, chunk=10, region=10**9)
+        assert scan.region == table.page_count
+
+    def test_footprint_is_region(self, setup):
+        _, table, _, _ = setup
+        scan = SequentialChunkScan(table.pages, chunk=10, region=500)
+        assert scan.footprint_pages() == 500
+
+    def test_rejects_bad_chunk(self, setup):
+        _, table, _, _ = setup
+        with pytest.raises(ValueError):
+            SequentialChunkScan(table.pages, chunk=0)
+
+
+class TestIndexLookup:
+    def test_demand_includes_index_path_and_data(self, setup):
+        _, table, index, seeds = setup
+        pattern = IndexLookup(index, seeds.stream("l"), lookups_per_execution=1)
+        demand = pattern.pages_for_execution().demand
+        assert demand[-1] in range(table.pages.start, table.pages.end)
+        assert any(
+            index.internal_pages.contains(p) or index.leaf_pages.contains(p)
+            for p in demand
+        )
+
+    def test_multiple_lookups_scale_demand(self, setup):
+        _, _, index, seeds = setup
+        single = IndexLookup(index, seeds.stream("a"), lookups_per_execution=1)
+        triple = IndexLookup(index, seeds.stream("b"), lookups_per_execution=3)
+        assert (
+            len(triple.pages_for_execution().demand)
+            == 3 * len(single.pages_for_execution().demand)
+        )
+
+    def test_key_space_caps_row_domain(self, setup):
+        _, table, index, seeds = setup
+        pattern = IndexLookup(
+            index, seeds.stream("k"), key_space=10, key_theta=0.0
+        )
+        leaves = set()
+        for _ in range(50):
+            demand = pattern.pages_for_execution().demand
+            leaves.update(p for p in demand if index.leaf_pages.contains(p))
+        assert len(leaves) <= 10
+
+    def test_rejects_zero_lookups(self, setup):
+        _, _, index, seeds = setup
+        with pytest.raises(ValueError):
+            IndexLookup(index, seeds.stream("l"), lookups_per_execution=0)
+
+
+class TestIndexRangeScan:
+    def test_touches_multiple_leaves_for_wide_span(self, setup):
+        _, _, index, seeds = setup
+        pattern = IndexRangeScan(index, seeds.stream("r"), row_span=2000)
+        demand = pattern.pages_for_execution().demand
+        leaves = [p for p in demand if index.leaf_pages.contains(p)]
+        assert len(leaves) >= 2000 // index.leaf_entries
+
+    def test_data_fraction_bounds_data_pages(self, setup):
+        _, table, index, seeds = setup
+        pattern = IndexRangeScan(
+            index, seeds.stream("r"), row_span=1600, data_page_fraction=0.5
+        )
+        demand = pattern.pages_for_execution().demand
+        data = [p for p in demand if table.pages.contains(p)]
+        matched_pages = 1600 // table.rows_per_page
+        assert len(data) <= max(1, matched_pages)
+
+    def test_rejects_bad_fraction(self, setup):
+        _, _, index, seeds = setup
+        with pytest.raises(ValueError):
+            IndexRangeScan(index, seeds.stream("r"), row_span=10, data_page_fraction=2.0)
+
+
+class TestPlanSwitchingPattern:
+    def test_uses_indexed_plan_when_available(self, setup):
+        allocator, table, index, seeds = setup
+        catalog = IndexCatalog()
+        catalog.add(index)
+        indexed = ZipfWorkingSet(table.pages, 10, 0.5, 5, seeds.stream("i"))
+        fallback = SequentialChunkScan(table.pages, chunk=50, region=100)
+        pattern = PlanSwitchingPattern(catalog, "idx", indexed, fallback)
+        assert pattern.using_index
+        assert len(pattern.pages_for_execution().demand) == 5
+
+    def test_switches_to_fallback_on_drop(self, setup):
+        allocator, table, index, seeds = setup
+        catalog = IndexCatalog()
+        catalog.add(index)
+        indexed = ZipfWorkingSet(table.pages, 10, 0.5, 5, seeds.stream("i"))
+        fallback = SequentialChunkScan(table.pages, chunk=50, region=100)
+        pattern = PlanSwitchingPattern(catalog, "idx", indexed, fallback)
+        catalog.drop("idx")
+        assert not pattern.using_index
+        assert len(pattern.pages_for_execution().demand) == 50
+
+    def test_footprint_follows_active_plan(self, setup):
+        allocator, table, index, seeds = setup
+        catalog = IndexCatalog()
+        catalog.add(index)
+        indexed = ZipfWorkingSet(table.pages, 10, 0.5, 5, seeds.stream("i"))
+        fallback = SequentialChunkScan(table.pages, chunk=50, region=400)
+        pattern = PlanSwitchingPattern(catalog, "idx", indexed, fallback)
+        assert pattern.footprint_pages() == 10
+        catalog.drop("idx")
+        assert pattern.footprint_pages() == 400
+
+
+class TestCompositePattern:
+    def test_concatenates_parts(self, setup):
+        _, table, _, seeds = setup
+        pattern = CompositePattern(
+            [
+                ZipfWorkingSet(table.pages, 10, 0.5, 3, seeds.stream("a")),
+                SequentialChunkScan(table.pages, chunk=4, readahead=0, region=50),
+            ]
+        )
+        access = pattern.pages_for_execution()
+        assert len(access.demand) == 7
+
+    def test_footprint_sums(self, setup):
+        _, table, _, seeds = setup
+        pattern = CompositePattern(
+            [
+                ZipfWorkingSet(table.pages, 10, 0.5, 3, seeds.stream("a")),
+                SequentialChunkScan(table.pages, chunk=4, region=50),
+            ]
+        )
+        assert pattern.footprint_pages() == 60
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompositePattern([])

@@ -1,0 +1,110 @@
+"""Unit tests for the what-if quota advisor."""
+
+import pytest
+
+from repro.core.advisor import assess_plan, predict_miss_ratios
+from repro.core.mrc import MissRatioCurve
+from repro.core.quota import QuotaPlan, find_quotas
+
+
+def looping_curve(pages: int, repeats: int = 30) -> MissRatioCurve:
+    """A working set of ``pages`` re-read ``repeats`` times: the curve steps
+    from ~1.0 below the working-set size to ~cold-only at or above it."""
+    trace = list(range(pages)) * repeats
+    return MissRatioCurve.from_trace(trace)
+
+
+class TestPredictMissRatios:
+    def test_quota_d_class_uses_its_quota(self):
+        curves = {"hog": looping_curve(100)}
+        predicted = predict_miss_ratios(curves, {"hog": 100}, pool_pages=200)
+        assert predicted["hog"] < 0.1
+
+    def test_starved_quota_misses(self):
+        curves = {"hog": looping_curve(100)}
+        predicted = predict_miss_ratios(curves, {"hog": 50}, pool_pages=200)
+        assert predicted["hog"] > 0.9
+
+    def test_unquota_d_class_uses_shared_remainder(self):
+        curves = {"hog": looping_curve(50), "rest": looping_curve(100)}
+        # Pool 200, hog quota 120 -> shared is 80 < rest's working set.
+        predicted = predict_miss_ratios(curves, {"hog": 120}, pool_pages=200)
+        assert predicted["rest"] > 0.9
+        # Pool 300 -> shared 180 holds the working set.
+        predicted = predict_miss_ratios(curves, {"hog": 120}, pool_pages=300)
+        assert predicted["rest"] < 0.1
+
+    def test_rejects_overcommitted_quotas(self):
+        curves = {"a": looping_curve(10)}
+        with pytest.raises(ValueError):
+            predict_miss_ratios(curves, {"a": 200}, pool_pages=200)
+
+    def test_rejects_unknown_quota_context(self):
+        with pytest.raises(KeyError):
+            predict_miss_ratios({}, {"ghost": 10}, pool_pages=100)
+
+    def test_rejects_bad_pool(self):
+        with pytest.raises(ValueError):
+            predict_miss_ratios({}, {}, pool_pages=0)
+
+
+class TestAssessPlan:
+    def make_world(self, pool=400):
+        curves = {"hog": looping_curve(150), "rest": looping_curve(100)}
+        parameters = {
+            key: curve.parameters(pool) for key, curve in curves.items()
+        }
+        return curves, parameters
+
+    def test_good_plan_assessed_acceptable(self):
+        pool = 400
+        curves, parameters = self.make_world(pool)
+        plan = find_quotas(
+            {"hog": parameters["hog"]}, {"rest": parameters["rest"]}, pool
+        )
+        assessment = assess_plan(curves, parameters, plan, pool)
+        assert assessment.all_acceptable
+        assert assessment.failing() == []
+
+    def test_starving_plan_flagged(self):
+        pool = 400
+        curves, parameters = self.make_world(pool)
+        plan = QuotaPlan(feasible=True, quotas={"hog": 30}, shared_pages=370)
+        assessment = assess_plan(curves, parameters, plan, pool)
+        assert not assessment.all_acceptable
+        assert assessment.failing() == ["hog"]
+
+    def test_prediction_details_exposed(self):
+        pool = 400
+        curves, parameters = self.make_world(pool)
+        plan = QuotaPlan(feasible=True, quotas={"hog": 160}, shared_pages=240)
+        assessment = assess_plan(curves, parameters, plan, pool)
+        hog = assessment.predictions["hog"]
+        assert hog.memory_pages == 160
+        assert 0.0 <= hog.predicted_miss_ratio <= 1.0
+        rest = assessment.predictions["rest"]
+        assert rest.memory_pages == 240  # the shared remainder
+
+    def test_infeasible_plan_rejected(self):
+        curves, parameters = self.make_world()
+        with pytest.raises(ValueError):
+            assess_plan(curves, parameters, QuotaPlan(feasible=False), 400)
+
+    def test_quota_search_plans_keep_their_promise(self):
+        """The paper's claim, verified: at the searched quotas every class is
+        predicted to run at or below its acceptable miss ratio."""
+        pool = 500
+        curves = {
+            "a": looping_curve(120),
+            "b": looping_curve(180),
+            "rest": looping_curve(90),
+        }
+        parameters = {k: c.parameters(pool) for k, c in curves.items()}
+        plan = find_quotas(
+            {"a": parameters["a"], "b": parameters["b"]},
+            {"rest": parameters["rest"]},
+            pool,
+        )
+        assert plan.feasible
+        assessment = assess_plan(curves, parameters, plan, pool)
+        assert assessment.all_acceptable

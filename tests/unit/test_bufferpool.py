@@ -1,0 +1,200 @@
+"""Unit tests for the LRU and quota-partitioned buffer pools."""
+
+import pytest
+
+from repro.engine.bufferpool import (
+    LRUBufferPool,
+    PartitionedBufferPool,
+    PoolStats,
+    replay_trace,
+)
+
+
+class TestPoolStats:
+    def test_hit_ratio_of_untouched_pool_is_one(self):
+        assert PoolStats().hit_ratio == 1.0
+
+    def test_counts_accumulate(self):
+        stats = PoolStats()
+        stats.record_hit("q")
+        stats.record_miss("q")
+        stats.record_miss("q")
+        assert stats.accesses == 3
+        assert stats.hit_ratio == pytest.approx(1 / 3)
+        assert stats.miss_ratio == pytest.approx(2 / 3)
+
+    def test_per_class_isolation(self):
+        stats = PoolStats()
+        stats.record_hit("a")
+        stats.record_miss("b")
+        assert stats.class_hit_ratio("a") == 1.0
+        assert stats.class_hit_ratio("b") == 0.0
+
+    def test_unknown_class_hit_ratio_is_one(self):
+        assert PoolStats().class_hit_ratio("nope") == 1.0
+
+    def test_readahead_counts(self):
+        stats = PoolStats()
+        stats.record_readahead("q", 5)
+        assert stats.readaheads == 5
+        assert stats.per_class["q"]["readaheads"] == 5
+
+    def test_reset_clears_everything(self):
+        stats = PoolStats()
+        stats.record_hit("q")
+        stats.record_readahead("q")
+        stats.reset()
+        assert stats.accesses == 0
+        assert stats.per_class == {}
+
+
+class TestLRUBufferPool:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUBufferPool(0)
+
+    def test_first_access_misses(self):
+        pool = LRUBufferPool(4)
+        assert pool.access(1) is False
+
+    def test_second_access_hits(self):
+        pool = LRUBufferPool(4)
+        pool.access(1)
+        assert pool.access(1) is True
+
+    def test_capacity_enforced(self):
+        pool = LRUBufferPool(2)
+        for page in (1, 2, 3):
+            pool.access(page)
+        assert len(pool) == 2
+
+    def test_lru_eviction_order(self):
+        pool = LRUBufferPool(2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(3)  # evicts 1
+        assert not pool.resident(1)
+        assert pool.resident(2) and pool.resident(3)
+
+    def test_access_refreshes_recency(self):
+        pool = LRUBufferPool(2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)  # 1 is now MRU
+        pool.access(3)  # evicts 2
+        assert pool.resident(1) and not pool.resident(2)
+
+    def test_lru_order_reports_least_recent_first(self):
+        pool = LRUBufferPool(3)
+        for page in (1, 2, 3):
+            pool.access(page)
+        pool.access(1)
+        assert pool.lru_order() == [2, 3, 1]
+
+    def test_prefetch_loads_pages_without_demand_misses(self):
+        pool = LRUBufferPool(4)
+        fetched = pool.prefetch([1, 2], "q")
+        assert fetched == 2
+        assert pool.stats.misses == 0
+        assert pool.stats.readaheads == 2
+
+    def test_prefetch_skips_resident_pages(self):
+        pool = LRUBufferPool(4)
+        pool.access(1)
+        assert pool.prefetch([1, 2]) == 1
+
+    def test_demand_after_prefetch_hits(self):
+        pool = LRUBufferPool(4)
+        pool.prefetch([5])
+        assert pool.access(5) is True
+
+    def test_evict_all(self):
+        pool = LRUBufferPool(4)
+        pool.access(1)
+        pool.evict_all()
+        assert len(pool) == 0
+
+
+class TestPartitionedBufferPool:
+    def test_quota_reserved_partitions(self):
+        pool = PartitionedBufferPool(10, quotas={"hog": 4})
+        assert pool.quota_of("hog") == 4
+        assert pool.quota_of(PartitionedBufferPool.DEFAULT) == 6
+
+    def test_quotas_cannot_consume_whole_pool(self):
+        with pytest.raises(ValueError):
+            PartitionedBufferPool(10, quotas={"hog": 10})
+
+    def test_default_partition_name_reserved(self):
+        with pytest.raises(ValueError):
+            PartitionedBufferPool(10, quotas={"default": 2})
+
+    def test_unassigned_class_uses_default(self):
+        pool = PartitionedBufferPool(10, quotas={"hog": 4})
+        assert pool.partition_for("anything") == PartitionedBufferPool.DEFAULT
+
+    def test_assignment_routes_accesses(self):
+        pool = PartitionedBufferPool(6, quotas={"hog": 2})
+        pool.assign("scan", "hog")
+        # Fill the hog partition beyond quota; default stays untouched.
+        for page in (1, 2, 3):
+            pool.access(page, "scan")
+        assert not pool.resident(1)  # evicted within the 2-page partition
+        pool.access(100, "other")
+        assert pool.resident(100)
+
+    def test_assign_to_unknown_partition_rejected(self):
+        pool = PartitionedBufferPool(10, quotas={"hog": 4})
+        with pytest.raises(KeyError):
+            pool.assign("q", "nope")
+
+    def test_isolation_between_partitions(self):
+        pool = PartitionedBufferPool(8, quotas={"hog": 4})
+        pool.assign("scan", "hog")
+        pool.access(1, "victim")  # default partition
+        # Scan floods its own partition only.
+        for page in range(100, 120):
+            pool.access(page, "scan")
+        assert pool.resident(1)
+
+    def test_global_stats_aggregate(self):
+        pool = PartitionedBufferPool(8, quotas={"hog": 4})
+        pool.assign("scan", "hog")
+        pool.access(1, "scan")
+        pool.access(1, "scan")
+        pool.access(2, "other")
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 2
+
+    def test_len_sums_partitions(self):
+        pool = PartitionedBufferPool(8, quotas={"hog": 4})
+        pool.assign("scan", "hog")
+        pool.access(1, "scan")
+        pool.access(2, "other")
+        assert len(pool) == 2
+
+    def test_prefetch_respects_partition(self):
+        pool = PartitionedBufferPool(6, quotas={"hog": 2})
+        pool.assign("scan", "hog")
+        pool.prefetch([1, 2, 3], "scan")
+        assert len(pool) == 2  # clipped to the hog partition's quota
+
+    def test_partition_stats_accessible(self):
+        pool = PartitionedBufferPool(8, quotas={"hog": 4})
+        pool.assign("scan", "hog")
+        pool.access(1, "scan")
+        assert pool.partition_stats("hog").misses == 1
+
+
+class TestReplayTrace:
+    def test_single_class_replay(self):
+        pool = LRUBufferPool(2)
+        stats = replay_trace(pool, [1, 2, 1, 3, 1])
+        assert stats.accesses == 5
+        assert stats.hits == 2  # the two re-references to page 1
+
+    def test_replay_with_class_tags(self):
+        pool = LRUBufferPool(4)
+        stats = replay_trace(pool, [1, 2, 1], classes=["a", "b", "a"])
+        assert stats.class_hit_ratio("a") == pytest.approx(0.5)
+        assert stats.class_hit_ratio("b") == 0.0

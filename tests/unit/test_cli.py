@@ -1,0 +1,58 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in ("list", "fig3", "fig4", "fig5", "fig6",
+                        "table1", "table2", "table3", "locks", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_overrides_parse(self):
+        args = build_parser().parse_args(["fig4", "--clients", "10"])
+        assert args.clients == 10
+        args = build_parser().parse_args(["fig5", "--executions", "50"])
+        assert args.executions == 50
+
+
+class TestListCommand:
+    def test_lists_artefacts(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig4", "fig5", "fig6", "table1", "table2",
+                     "table3", "locks"):
+            assert name in out
+
+
+class TestFastCommands:
+    """Commands cheap enough to execute inside a unit test."""
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--executions", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Miss Ratio Curve" in out
+        assert "paper: 6982" in out
+
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6", "--executions", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "acceptable memory" in out
+
+    def test_locks_runs(self, capsys):
+        assert main(["locks", "--clients", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Lock contention" in out
+        assert "baseline" in out

@@ -1,0 +1,99 @@
+"""Unit tests for read-one-write-all replication bookkeeping."""
+
+import pytest
+
+from repro.cluster.consistency import ReplicationState, WriteToken
+
+
+class TestReplicationState:
+    def make(self, replicas=("r1", "r2")):
+        state = ReplicationState(app="app")
+        for name in replicas:
+            state.add_replica(name)
+        return state
+
+    def test_new_replicas_current(self):
+        state = self.make()
+        assert state.current_replicas() == ["r1", "r2"]
+        assert state.fully_consistent
+
+    def test_duplicate_replica_rejected(self):
+        state = self.make()
+        with pytest.raises(ValueError):
+            state.add_replica("r1")
+
+    def test_write_sequencing(self):
+        state = self.make()
+        first = state.begin_write()
+        second = state.begin_write()
+        assert (first.sequence, second.sequence) == (1, 2)
+
+    def test_acknowledge_advances_watermark(self):
+        state = self.make()
+        token = state.begin_write()
+        state.acknowledge("r1", token)
+        assert state.is_current("r1")
+        assert not state.is_current("r2")
+
+    def test_out_of_order_ack_rejected(self):
+        state = self.make()
+        state.begin_write()
+        second = state.begin_write()
+        with pytest.raises(ValueError):
+            state.acknowledge("r1", second)
+
+    def test_ack_for_wrong_app_rejected(self):
+        state = self.make()
+        token = WriteToken(app="other", sequence=1)
+        with pytest.raises(ValueError):
+            state.acknowledge("r1", token)
+
+    def test_ack_for_unknown_replica_rejected(self):
+        state = self.make()
+        token = state.begin_write()
+        with pytest.raises(KeyError):
+            state.acknowledge("ghost", token)
+
+    def test_lagging_replica_excluded_from_reads(self):
+        state = self.make()
+        token = state.begin_write()
+        state.acknowledge("r1", token)
+        assert state.current_replicas() == ["r1"]
+
+    def test_lag_of(self):
+        state = self.make()
+        token = state.begin_write()
+        state.acknowledge("r1", token)
+        assert state.lag_of("r2") == 1
+        assert state.lag_of("r1") == 0
+
+    def test_unsynced_join_starts_behind(self):
+        state = self.make(replicas=("r1",))
+        state.acknowledge("r1", state.begin_write())
+        state.add_replica("fresh", synced=False)
+        assert not state.is_current("fresh")
+        assert state.lag_of("fresh") == 1
+
+    def test_synced_join_is_current(self):
+        state = self.make(replicas=("r1",))
+        state.acknowledge("r1", state.begin_write())
+        state.add_replica("clone", synced=True)
+        assert state.is_current("clone")
+
+    def test_remove_replica(self):
+        state = self.make()
+        state.remove_replica("r2")
+        assert state.current_replicas() == ["r1"]
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self.make().remove_replica("ghost")
+
+    def test_catching_up_restores_consistency(self):
+        state = self.make()
+        tokens = [state.begin_write() for _ in range(3)]
+        for token in tokens:
+            state.acknowledge("r1", token)
+        for token in tokens:
+            state.acknowledge("r2", token)
+        assert state.fully_consistent

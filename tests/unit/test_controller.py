@@ -1,0 +1,262 @@
+"""Unit tests for the cluster controller's feedback loop."""
+
+import pytest
+
+from repro.cluster.replica import Replica
+from repro.cluster.resource_manager import ResourceManager
+from repro.cluster.scheduler import Scheduler
+from repro.cluster.server import PhysicalServer, ServerSpec
+from repro.core.controller import ClusterController, ControllerConfig
+from repro.core.diagnosis import Action, ActionKind
+from repro.engine.access import AccessPattern, ExecutionAccess
+from repro.engine.query import QueryClass
+
+
+class _ScriptedPattern(AccessPattern):
+    def __init__(self, demand=(1,)):
+        self.demand = list(demand)
+
+    def pages_for_execution(self):
+        return ExecutionAccess(demand=list(self.demand))
+
+    def footprint_pages(self):
+        return len(set(self.demand))
+
+
+def make_class(name="q", app="app", cpu=5.0):
+    # Huge cpu cost: a handful of queries saturates a small server.
+    return QueryClass(name, app, 1, f"select {name}", _ScriptedPattern(), cpu_cost=cpu)
+
+
+def make_cluster(servers=3, config=None, cores=1):
+    manager = ResourceManager()
+    for index in range(servers):
+        manager.add_server(PhysicalServer(f"s{index}", ServerSpec(cores=cores)))
+    controller = ClusterController(manager, config=config)
+    scheduler = Scheduler("app")
+    controller.add_scheduler(scheduler)
+    manager.allocate_replica(scheduler, 0.0)
+    for replica in scheduler.replicas.values():
+        controller.track_replica(replica)
+    return manager, controller, scheduler
+
+
+def saturate(scheduler, queries=10, cpu=5.0):
+    qc = make_class(cpu=cpu)
+    for _ in range(queries):
+        scheduler.submit(qc, 0.0)
+
+
+class TestWiring:
+    def test_duplicate_scheduler_rejected(self):
+        _, controller, _ = make_cluster()
+        with pytest.raises(ValueError):
+            controller.add_scheduler(Scheduler("app"))
+
+    def test_track_replica_creates_analyzer(self):
+        _, controller, scheduler = make_cluster()
+        replica = next(iter(scheduler.replicas.values()))
+        analyzer = controller.analyzer_of(replica)
+        assert analyzer.engine is replica.engine
+
+
+class TestIntervalLoop:
+    def test_reports_emitted_per_app(self):
+        _, controller, scheduler = make_cluster()
+        scheduler.submit(make_class(cpu=0.01), 0.0)
+        reports = controller.close_interval(10.0)
+        assert len(reports) == 1
+        assert reports[0].app == "app"
+        assert reports[0].throughput == pytest.approx(0.1)
+
+    def test_idle_interval_meets_sla(self):
+        _, controller, _ = make_cluster()
+        report = controller.close_interval(10.0)[0]
+        assert report.sla_met
+
+    def test_interval_index_advances(self):
+        _, controller, _ = make_cluster()
+        controller.close_interval(10.0)
+        reports = controller.close_interval(20.0)
+        assert reports[0].interval_index == 1
+
+
+class TestCpuProvisioning:
+    def test_sustained_saturation_provisions_replica(self):
+        _, controller, scheduler = make_cluster(
+            config=ControllerConfig(startup_grace_intervals=0)
+        )
+        for boundary in range(1, 6):
+            saturate(scheduler)
+            controller.close_interval(boundary * 10.0)
+            if len(scheduler.replicas) > 1:
+                break
+        assert len(scheduler.replicas) >= 2
+
+    def test_startup_grace_suppresses_reaction(self):
+        _, controller, scheduler = make_cluster(
+            config=ControllerConfig(startup_grace_intervals=10)
+        )
+        for boundary in range(1, 6):
+            saturate(scheduler)
+            controller.close_interval(boundary * 10.0)
+        assert len(scheduler.replicas) == 1
+
+    def test_action_grace_limits_reaction_rate(self):
+        _, controller, scheduler = make_cluster(
+            servers=5,
+            config=ControllerConfig(
+                startup_grace_intervals=0, action_grace_intervals=10
+            ),
+        )
+        for boundary in range(1, 8):
+            saturate(scheduler, queries=20)
+            controller.close_interval(boundary * 10.0)
+        # One provisioning burst, then grace blocks further reactions.
+        assert len(scheduler.replicas) == 2
+
+
+class TestScaleDown:
+    def test_idle_overprovisioned_app_shrinks(self):
+        manager, controller, scheduler = make_cluster(
+            servers=3,
+            config=ControllerConfig(
+                scale_down=True, scale_down_patience=2, startup_grace_intervals=0
+            ),
+        )
+        manager.allocate_replica(scheduler, 0.0)
+        for replica in scheduler.replicas.values():
+            controller.track_replica(replica)
+        assert len(scheduler.replicas) == 2
+        for boundary in range(1, 6):
+            scheduler.submit(make_class(cpu=0.001), 0.0)
+            controller.close_interval(boundary * 10.0)
+        assert len(scheduler.replicas) == 1
+
+    def test_scale_down_never_below_one(self):
+        _, controller, scheduler = make_cluster(
+            config=ControllerConfig(scale_down=True, startup_grace_intervals=0)
+        )
+        for boundary in range(1, 8):
+            controller.close_interval(boundary * 10.0)
+        assert len(scheduler.replicas) == 1
+
+    def test_scale_down_disabled_by_default(self):
+        manager, controller, scheduler = make_cluster(servers=3)
+        manager.allocate_replica(scheduler, 0.0)
+        for replica in scheduler.replicas.values():
+            controller.track_replica(replica)
+        for boundary in range(1, 8):
+            controller.close_interval(boundary * 10.0)
+        assert len(scheduler.replicas) == 2
+
+
+class TestApplyActions:
+    def test_apply_quotas_sets_engine_quota(self):
+        _, controller, scheduler = make_cluster()
+        replica = next(iter(scheduler.replicas.values()))
+        action = Action(
+            kind=ActionKind.APPLY_QUOTAS,
+            app="app",
+            reason="test",
+            replica=replica.name,
+            quotas=(("app/q", 512),),
+        )
+        assert controller._apply(action, 0.0)
+        assert replica.engine.quotas == {"app/q": 512}
+
+    def test_reapplying_similar_quota_is_noop(self):
+        _, controller, scheduler = make_cluster()
+        replica = next(iter(scheduler.replicas.values()))
+        first = Action(
+            kind=ActionKind.APPLY_QUOTAS,
+            app="app",
+            reason="t",
+            replica=replica.name,
+            quotas=(("app/q", 512),),
+        )
+        controller._apply(first, 0.0)
+        similar = Action(
+            kind=ActionKind.APPLY_QUOTAS,
+            app="app",
+            reason="t",
+            replica=replica.name,
+            quotas=(("app/q", 540),),
+        )
+        assert not controller._apply(similar, 0.0)
+        assert replica.engine.quotas == {"app/q": 512}
+
+    def test_reschedule_provisions_when_no_alternative(self):
+        _, controller, scheduler = make_cluster(servers=2)
+        replica = next(iter(scheduler.replicas.values()))
+        action = Action(
+            kind=ActionKind.RESCHEDULE_CLASS,
+            app="app",
+            reason="t",
+            replica=replica.name,
+            context_key="app/q",
+        )
+        assert controller._apply(action, 0.0)
+        assert len(scheduler.replicas) == 2
+        placement = scheduler.placement_of("app/q")
+        assert len(placement) == 1 and placement[0] != replica.name
+
+    def test_reschedule_cross_app_moves_in_owner_scheduler(self):
+        manager, controller, scheduler = make_cluster(servers=3)
+        victim_replica = next(iter(scheduler.replicas.values()))
+        other = Scheduler("other")
+        controller.add_scheduler(other)
+        # Co-locate `other` on the same host as the victim so a move away
+        # from that host is actually required.
+        colocated = Replica.create("other-r1", "other", victim_replica.host)
+        other.add_replica(colocated)
+        controller.track_replica(colocated)
+        action = Action(
+            kind=ActionKind.RESCHEDULE_CLASS,
+            app="app",  # the violated app...
+            reason="t",
+            replica=victim_replica.name,
+            context_key="other/hog",  # ...but the context belongs to `other`
+        )
+        controller._apply(action, 0.0)
+        assert "other/hog" in other.pinned_contexts()
+
+    def test_coarse_fallback_provisions_exclusive(self):
+        _, controller, scheduler = make_cluster(servers=2)
+        action = Action(kind=ActionKind.COARSE_FALLBACK, app="app", reason="t")
+        assert controller._apply(action, 0.0)
+        assert len(scheduler.replicas) == 2
+
+    def test_no_action_applies_nothing(self):
+        _, controller, scheduler = make_cluster()
+        action = Action(kind=ActionKind.NO_ACTION, app="app", reason="t")
+        assert not controller._apply(action, 0.0)
+
+
+class TestReporting:
+    def test_app_timeline_filters(self):
+        _, controller, _ = make_cluster()
+        controller.close_interval(10.0)
+        controller.close_interval(20.0)
+        assert len(controller.app_timeline("app")) == 2
+        assert controller.app_timeline("ghost") == []
+
+    def test_actions_taken_aggregates(self):
+        _, controller, scheduler = make_cluster(
+            config=ControllerConfig(startup_grace_intervals=0)
+        )
+        for boundary in range(1, 6):
+            saturate(scheduler)
+            controller.close_interval(boundary * 10.0)
+        assert any(
+            action.kind is ActionKind.PROVISION_REPLICA
+            for action in controller.actions_taken("app")
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(interval_length=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(fallback_patience=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(scale_down_cpu_threshold=1.5)

@@ -1,0 +1,11 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import repro.engine.query
+
+
+def test_query_module_doctests():
+    failures, attempted = doctest.testmod(repro.engine.query, verbose=False)
+    assert attempted > 0
+    assert failures == 0

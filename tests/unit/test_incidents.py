@@ -1,0 +1,94 @@
+"""Unit tests for incident extraction and reporting."""
+
+from repro.analysis.incidents import extract_incidents, render_incident_report
+from repro.core.controller import AppIntervalReport
+from repro.core.diagnosis import Action, ActionKind
+
+
+def report(index, sla=True, latency=0.5, throughput=5.0, actions=()):
+    return AppIntervalReport(
+        app="tpcw",
+        interval_index=index,
+        timestamp=(index + 1) * 10.0,
+        mean_latency=latency,
+        throughput=throughput,
+        sla_met=sla,
+        actions=list(actions),
+    )
+
+
+class TestExtractIncidents:
+    def test_no_violations_no_incidents(self):
+        reports = [report(i) for i in range(4)]
+        assert extract_incidents(reports, "tpcw") == []
+
+    def test_single_incident_grouped(self):
+        reports = [
+            report(0),
+            report(1, sla=False, latency=2.0),
+            report(2, sla=False, latency=3.0),
+            report(3),
+        ]
+        incidents = extract_incidents(reports, "tpcw")
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert (incident.start_interval, incident.end_interval) == (1, 2)
+        assert incident.duration_intervals == 2
+        assert incident.worst_latency == 3.0
+        assert incident.resolved
+
+    def test_separate_incidents_split(self):
+        reports = [
+            report(0, sla=False, latency=2.0),
+            report(1),
+            report(2, sla=False, latency=1.5),
+        ]
+        incidents = extract_incidents(reports, "tpcw")
+        assert len(incidents) == 2
+        assert incidents[0].resolved
+        assert not incidents[1].resolved  # run ended mid-incident
+
+    def test_idle_intervals_do_not_count(self):
+        reports = [report(0, sla=False, latency=2.0, throughput=0.0)]
+        assert extract_incidents(reports, "tpcw") == []
+
+    def test_actions_attached(self):
+        action = Action(kind=ActionKind.APPLY_QUOTAS, app="tpcw", reason="r")
+        reports = [report(0, sla=False, latency=2.0, actions=[action])]
+        incidents = extract_incidents(reports, "tpcw")
+        assert incidents[0].action_kinds == ["apply_quotas"]
+
+    def test_other_apps_filtered(self):
+        reports = [report(0, sla=False, latency=2.0)]
+        assert extract_incidents(reports, "rubis") == []
+
+
+class TestRenderReport:
+    class _FakeController:
+        def __init__(self, reports):
+            self.reports = reports
+            self.schedulers = {"tpcw": object()}
+
+    def test_quiet_run(self):
+        controller = self._FakeController([report(0), report(1)])
+        rendered = render_incident_report(controller)
+        assert "no SLA incidents" in rendered
+
+    def test_incident_narrative(self):
+        action = Action(
+            kind=ActionKind.RESCHEDULE_CLASS,
+            app="tpcw",
+            reason="isolating 'rubis/search_items_by_region'",
+        )
+        controller = self._FakeController(
+            [
+                report(0),
+                report(1, sla=False, latency=5.4, actions=[action]),
+                report(2),
+            ]
+        )
+        rendered = render_incident_report(controller)
+        assert "application: tpcw" in rendered
+        assert "worst mean latency 5.40 s" in rendered
+        assert "reschedule_class" in rendered
+        assert "resolved" in rendered

@@ -1,0 +1,91 @@
+"""Unit tests for the SHARDS-style sampled MRC."""
+
+import numpy as np
+import pytest
+
+from repro.core.mrc import MissRatioCurve
+from repro.core.mrc_sampling import sample_trace, sampled_mrc
+
+
+def zipf_trace(n_pages=500, length=20_000, theta=0.8, seed=3):
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_pages + 1, dtype=float)
+    probs = ranks**-theta
+    probs /= probs.sum()
+    return rng.choice(n_pages, size=length, p=probs)
+
+
+class TestSampleTrace:
+    def test_rate_one_keeps_everything(self):
+        trace = zipf_trace(length=1000)
+        kept, stats = sample_trace(trace, rate=1.0)
+        assert len(kept) == len(trace)
+        assert stats.effective_rate == 1.0
+
+    def test_rate_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            sample_trace([1, 2], rate=0.0)
+        with pytest.raises(ValueError):
+            sample_trace([1, 2], rate=1.5)
+
+    def test_spatial_consistency(self):
+        # A page is either always sampled or never sampled.
+        trace = zipf_trace(length=5000)
+        kept, _ = sample_trace(trace, rate=0.3)
+        kept_pages = set(kept.tolist())
+        dropped_pages = set(trace.tolist()) - kept_pages
+        assert kept_pages.isdisjoint(dropped_pages)
+
+    def test_effective_rate_near_nominal(self):
+        trace = zipf_trace(n_pages=2000, length=50_000, theta=0.2)
+        _, stats = sample_trace(trace, rate=0.25)
+        assert 0.1 < stats.effective_rate < 0.45
+
+    def test_seed_changes_selection(self):
+        trace = zipf_trace(length=5000)
+        a, _ = sample_trace(trace, rate=0.3, seed=0)
+        b, _ = sample_trace(trace, rate=0.3, seed=99)
+        assert a.tolist() != b.tolist()
+
+    def test_deterministic_for_same_seed(self):
+        trace = zipf_trace(length=5000)
+        a, _ = sample_trace(trace, rate=0.3, seed=7)
+        b, _ = sample_trace(trace, rate=0.3, seed=7)
+        assert a.tolist() == b.tolist()
+
+
+class TestSampledMrc:
+    def test_rate_one_matches_exact(self):
+        trace = zipf_trace(length=5000)
+        exact = MissRatioCurve.from_trace(trace)
+        approx, _ = sampled_mrc(trace, rate=1.0)
+        for memory in (1, 10, 100, 400, 1000):
+            assert approx.miss_ratio(memory) == exact.miss_ratio(memory)
+
+    def test_approximation_close_to_exact(self):
+        trace = zipf_trace(n_pages=800, length=40_000, theta=0.7)
+        exact = MissRatioCurve.from_trace(trace)
+        approx, _ = sampled_mrc(trace, rate=0.2, seed=1)
+        for memory in (50, 100, 200, 400, 800):
+            assert abs(approx.miss_ratio(memory) - exact.miss_ratio(memory)) < 0.08
+
+    def test_parameters_in_same_regime(self):
+        trace = zipf_trace(n_pages=800, length=40_000, theta=0.7)
+        exact = MissRatioCurve.from_trace(trace).parameters(2000)
+        approx_curve, _ = sampled_mrc(trace, rate=0.2, seed=1)
+        approx = approx_curve.parameters(2000)
+        assert abs(approx.acceptable_memory - exact.acceptable_memory) < 300
+
+    def test_monotone(self):
+        trace = zipf_trace(length=20_000)
+        approx, _ = sampled_mrc(trace, rate=0.15)
+        previous = 1.0
+        for memory in range(0, 700, 25):
+            ratio = approx.miss_ratio(memory)
+            assert ratio <= previous + 1e-12
+            previous = ratio
+
+    def test_sampling_reduces_work(self):
+        trace = zipf_trace(n_pages=2000, length=30_000, theta=0.3)
+        _, stats = sampled_mrc(trace, rate=0.1)
+        assert stats.sampled_length < 0.3 * stats.input_length

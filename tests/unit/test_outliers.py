@@ -1,0 +1,175 @@
+"""Unit tests for metric weights, impact values and IQR outlier detection."""
+
+import pytest
+
+from repro.core.metrics import Metric, MetricVector
+from repro.core.outliers import (
+    Fences,
+    Severity,
+    compute_impact_values,
+    compute_weights,
+    detect_outliers,
+    iqr_fences,
+    top_k_heavyweight,
+)
+
+
+def vectors(**by_context):
+    """Build {context: MetricVector} from {name: misses_value}."""
+    return {
+        name: MetricVector(name, {Metric.MISSES: float(value)})
+        for name, value in by_context.items()
+    }
+
+
+class TestComputeWeights:
+    def test_normalised_to_least_positive(self):
+        weights = compute_weights(vectors(a=10, b=20, c=5), Metric.MISSES)
+        assert weights == {"a": 2.0, "b": 4.0, "c": 1.0}
+
+    def test_zero_values_get_zero_weight(self):
+        weights = compute_weights(vectors(a=0, b=10), Metric.MISSES)
+        assert weights["a"] == 0.0
+        assert weights["b"] == 1.0
+
+    def test_all_zero_gives_all_zero(self):
+        weights = compute_weights(vectors(a=0, b=0), Metric.MISSES)
+        assert set(weights.values()) == {0.0}
+
+
+class TestImpactValues:
+    def test_ratio_times_weight(self):
+        current = vectors(a=20, b=10)
+        stable = vectors(a=10, b=10)
+        impacts = compute_impact_values(current, stable, Metric.MISSES)
+        # a: ratio 2 * weight 2; b: ratio 1 * weight 1.
+        assert impacts == {"a": 4.0, "b": 1.0}
+
+    def test_contexts_without_stable_are_skipped(self):
+        current = vectors(a=20, b=10)
+        stable = vectors(a=10)
+        impacts = compute_impact_values(current, stable, Metric.MISSES)
+        assert "b" not in impacts
+
+
+class TestFences:
+    def test_iqr(self):
+        fences = Fences(q1=10.0, q3=20.0)
+        assert fences.iqr == 10.0
+        assert fences.inner == (-5.0, 35.0)
+        assert fences.outer == (-20.0, 50.0)
+
+    def test_classify_inside(self):
+        fences = Fences(q1=10.0, q3=20.0)
+        assert fences.classify(15.0) is None
+
+    def test_classify_mild(self):
+        fences = Fences(q1=10.0, q3=20.0)
+        assert fences.classify(40.0) is Severity.MILD
+        assert fences.classify(-10.0) is Severity.MILD
+
+    def test_classify_extreme(self):
+        fences = Fences(q1=10.0, q3=20.0)
+        assert fences.classify(60.0) is Severity.EXTREME
+        assert fences.classify(-30.0) is Severity.EXTREME
+
+    def test_boundary_values_inside(self):
+        fences = Fences(q1=10.0, q3=20.0)
+        assert fences.classify(35.0) is None  # inner fence is inclusive
+
+    def test_iqr_fences_from_sample(self):
+        fences = iqr_fences([1.0, 2.0, 3.0, 4.0])
+        assert fences.q1 == pytest.approx(1.75)
+        assert fences.q3 == pytest.approx(3.25)
+
+    def test_iqr_fences_rejects_empty(self):
+        with pytest.raises(ValueError):
+            iqr_fences([])
+
+
+class TestDetectOutliers:
+    def make_population(self, outlier_value=50.0, n=9):
+        current = {f"q{i}": MetricVector(f"q{i}", {Metric.MISSES: 10.0}) for i in range(n)}
+        current["hog"] = MetricVector("hog", {Metric.MISSES: outlier_value})
+        stable = {
+            key: MetricVector(key, {Metric.MISSES: 10.0}) for key in current
+        }
+        return current, stable
+
+    def test_detects_obvious_outlier(self):
+        current, stable = self.make_population()
+        report = detect_outliers(current, stable, metrics=(Metric.MISSES,))
+        assert report.outlier_contexts() == ["hog"]
+
+    def test_no_outliers_in_uniform_population(self):
+        current, stable = self.make_population(outlier_value=10.0)
+        report = detect_outliers(current, stable, metrics=(Metric.MISSES,))
+        assert report.is_empty
+
+    def test_extreme_severity_for_far_points(self):
+        current, stable = self.make_population(outlier_value=10_000.0)
+        report = detect_outliers(current, stable, metrics=(Metric.MISSES,))
+        assert report.severity_of("hog") is Severity.EXTREME
+
+    def test_min_population_guard(self):
+        current, stable = self.make_population(n=2)
+        report = detect_outliers(
+            current, stable, metrics=(Metric.MISSES,), min_population=10
+        )
+        assert report.is_empty
+        assert Metric.MISSES not in report.fences
+
+    def test_memory_outlier_contexts_filters_metric_kind(self):
+        n = 9
+        current = {
+            f"q{i}": MetricVector(
+                f"q{i}", {Metric.LATENCY: 0.1, Metric.MISSES: 10.0}
+            )
+            for i in range(n)
+        }
+        current["slow"] = MetricVector(
+            "slow", {Metric.LATENCY: 50.0, Metric.MISSES: 10.0}
+        )
+        stable = {
+            key: MetricVector(key, {Metric.LATENCY: 0.1, Metric.MISSES: 10.0})
+            for key in current
+        }
+        report = detect_outliers(current, stable)
+        assert "slow" in report.outlier_contexts()
+        assert "slow" not in report.memory_outlier_contexts()
+
+    def test_points_for_context(self):
+        current, stable = self.make_population()
+        report = detect_outliers(current, stable, metrics=(Metric.MISSES,))
+        points = report.points_for("hog")
+        assert len(points) == 1
+        assert points[0].metric is Metric.MISSES
+
+    def test_impacts_and_fences_recorded(self):
+        current, stable = self.make_population()
+        report = detect_outliers(current, stable, metrics=(Metric.MISSES,))
+        assert Metric.MISSES in report.impacts
+        assert Metric.MISSES in report.fences
+
+    def test_severity_of_clean_context_is_none(self):
+        current, stable = self.make_population()
+        report = detect_outliers(current, stable, metrics=(Metric.MISSES,))
+        assert report.severity_of("q0") is None
+
+
+class TestTopKHeavyweight:
+    def test_ranks_by_memory_weight(self):
+        current = vectors(light=1, medium=10, heavy=100)
+        assert top_k_heavyweight(current, k=2) == ["heavy", "medium"]
+
+    def test_k_larger_than_population(self):
+        current = vectors(a=1, b=2)
+        assert len(top_k_heavyweight(current, k=10)) == 2
+
+    def test_ties_broken_by_name(self):
+        current = vectors(b=5, a=5)
+        assert top_k_heavyweight(current, k=2) == ["a", "b"]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_heavyweight(vectors(a=1), k=0)

@@ -1,0 +1,109 @@
+"""Unit tests for the memory-quota search."""
+
+import pytest
+
+from repro.core.mrc import MRCParameters
+from repro.core.quota import find_quotas, placement_fits_totals
+
+
+def params(total, acceptable):
+    return MRCParameters(
+        total_memory=total,
+        ideal_miss_ratio=0.1,
+        acceptable_memory=acceptable,
+        acceptable_miss_ratio=0.15,
+    )
+
+
+class TestPlacementFitsTotals:
+    def test_fits(self):
+        contexts = {"a": params(100, 80), "b": params(199, 150)}
+        assert placement_fits_totals(contexts, pool_pages=300)
+
+    def test_exactly_full_pool_does_not_fit(self):
+        # A context capped at the pool size is starving, not fitting.
+        contexts = {"a": params(300, 200)}
+        assert not placement_fits_totals(contexts, pool_pages=300)
+
+    def test_does_not_fit(self):
+        contexts = {"a": params(100, 80), "b": params(201, 150)}
+        assert not placement_fits_totals(contexts, pool_pages=300)
+
+    def test_empty_always_fits(self):
+        assert placement_fits_totals({}, pool_pages=10)
+
+    def test_rejects_bad_pool(self):
+        with pytest.raises(ValueError):
+            placement_fits_totals({}, pool_pages=0)
+
+
+class TestFindQuotas:
+    def test_everything_fits_at_totals(self):
+        plan = find_quotas(
+            {"hog": params(100, 60)}, {"rest": params(50, 40)}, pool_pages=200
+        )
+        assert plan.feasible
+        assert plan.quotas["hog"] == 100  # no shrinking needed
+        assert plan.shared_pages == 100
+
+    def test_shrinks_toward_acceptable(self):
+        plan = find_quotas(
+            {"hog": params(100, 60)}, {"rest": params(80, 80)}, pool_pages=150
+        )
+        assert plan.feasible
+        assert plan.quotas["hog"] == 70  # shrunk by the 30-page excess
+        assert plan.quotas["hog"] >= 60
+
+    def test_infeasible_when_floors_exceed_pool(self):
+        plan = find_quotas(
+            {"hog": params(100, 90)}, {"rest": params(80, 80)}, pool_pages=150
+        )
+        assert not plan.feasible
+        assert plan.shortfall == 20
+
+    def test_never_shrinks_below_acceptable(self):
+        plan = find_quotas(
+            {"a": params(100, 50), "b": params(100, 50)},
+            {},
+            pool_pages=120,
+        )
+        assert plan.feasible
+        assert all(quota >= 50 for quota in plan.quotas.values())
+
+    def test_largest_excess_shrunk_first(self):
+        plan = find_quotas(
+            {"big": params(200, 50), "small": params(60, 50)},
+            {},
+            pool_pages=200,
+        )
+        assert plan.feasible
+        # The 60-page shortfall comes entirely out of "big"'s slack.
+        assert plan.quotas["small"] == 60
+        assert plan.quotas["big"] == 139 or plan.quotas["big"] == 140
+
+    def test_reserved_never_exceeds_pool(self):
+        plan = find_quotas(
+            {"a": params(500, 100)}, {"b": params(400, 300)}, pool_pages=600
+        )
+        if plan.feasible:
+            assert plan.reserved_pages + 1 <= 600
+
+    def test_shared_partition_keeps_at_least_one_page(self):
+        plan = find_quotas({"a": params(100, 10)}, {}, pool_pages=100)
+        assert plan.feasible
+        assert plan.shared_pages >= 1
+        assert plan.quotas["a"] < 100
+
+    def test_rejects_empty_problem_set(self):
+        with pytest.raises(ValueError):
+            find_quotas({}, {}, pool_pages=100)
+
+    def test_rejects_bad_pool(self):
+        with pytest.raises(ValueError):
+            find_quotas({"a": params(10, 5)}, {}, pool_pages=0)
+
+    def test_feasible_plan_covers_others_floor(self):
+        others = {"x": params(50, 30), "y": params(50, 30)}
+        plan = find_quotas({"hog": params(100, 20)}, others, pool_pages=120)
+        assert plan.feasible
+        assert plan.shared_pages >= 60  # sum of the others' acceptable needs

@@ -1,0 +1,110 @@
+"""Unit tests for the experiment result containers and their rendering."""
+
+from repro.core.diagnosis import Action, ActionKind
+from repro.core.mrc import MRCParameters
+from repro.experiments.results import (
+    BufferPartitioningResult,
+    CPUSaturationResult,
+    IOContentionResult,
+    IndexDropResult,
+    MRCResult,
+    MemoryContentionResult,
+    PlacementRow,
+)
+
+
+class TestMRCResult:
+    def make(self):
+        return MRCResult(
+            context="tpcw/best_seller",
+            params=MRCParameters(7000, 0.1, 6500, 0.14),
+            samples=[(1, 0.99), (4096, 0.40), (8192, 0.10)],
+            trace_length=1000,
+        )
+
+    def test_table_contains_samples(self):
+        rendered = self.make().to_table().render()
+        assert "tpcw/best_seller" in rendered
+        assert "0.9900" in rendered and "0.1000" in rendered
+
+    def test_table_row_per_sample(self):
+        table = self.make().to_table()
+        assert len(table.rows) == 3
+
+
+class TestIndexDropResult:
+    def test_ratio_table_sorted_by_query_id(self):
+        result = IndexDropResult(ratios={"misses": {9: 2.0, 1: 1.0, 8: 30.0}})
+        table = result.ratio_table("misses")
+        assert [row[0] for row in table.rows] == ["1", "8", "9"]
+
+    def test_ratio_table_missing_metric_is_empty(self):
+        assert IndexDropResult().ratio_table("latency").rows == []
+
+
+class TestBufferPartitioningResult:
+    def test_table_has_three_organisations(self):
+        result = BufferPartitioningResult(
+            shared_bestseller=0.955,
+            shared_rest=0.962,
+            partitioned_bestseller=0.957,
+            partitioned_rest=0.995,
+            exclusive_bestseller=0.961,
+            exclusive_rest=0.999,
+            quota_pages=3695,
+        )
+        rendered = result.to_table().render()
+        assert "95.5" in rendered and "99.5" in rendered and "99.9" in rendered
+        assert len(result.to_table().rows) == 3
+
+
+class TestPlacementTables:
+    def test_memory_contention_table(self):
+        result = MemoryContentionResult(
+            rows=[
+                PlacementRow("TPC-W / IDLE", 0.54, 8.73),
+                PlacementRow("TPC-W / RUBiS", 5.42, 4.29),
+            ]
+        )
+        rendered = result.to_table().render()
+        assert "5.42" in rendered and "8.73" in rendered
+
+    def test_io_contention_table(self):
+        result = IOContentionResult(rows=[PlacementRow("RUBiS / IDLE", 1.5, 97.0)])
+        rendered = result.to_table().render()
+        assert "RUBiS / IDLE" in rendered and "97.00" in rendered
+
+
+class TestCPUSaturationResult:
+    def make(self, latencies):
+        return CPUSaturationResult(
+            latency_series=[(float(i) * 10, l) for i, l in enumerate(latencies)],
+            sla_latency=1.0,
+        )
+
+    def test_final_latency(self):
+        assert self.make([0.2, 0.5, 0.8]).final_latency == 0.8
+
+    def test_final_latency_empty(self):
+        assert CPUSaturationResult().final_latency == 0.0
+
+    def test_sla_met_at_end_true(self):
+        assert self.make([2.0, 0.5, 0.4, 0.3]).sla_met_at_end(last_n=3)
+
+    def test_sla_met_at_end_false(self):
+        assert not self.make([0.2, 0.3, 1.5]).sla_met_at_end(last_n=2)
+
+
+class TestActionAccounting:
+    def test_actions_carry_quota_maps(self):
+        result = IndexDropResult(
+            actions=[
+                Action(
+                    kind=ActionKind.APPLY_QUOTAS,
+                    app="tpcw",
+                    reason="r",
+                    quotas=(("tpcw/best_seller", 3695),),
+                )
+            ]
+        )
+        assert result.actions[0].quota_map() == {"tpcw/best_seller": 3695}

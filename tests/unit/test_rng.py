@@ -1,0 +1,128 @@
+"""Unit tests for seeded random streams and the Zipf generator."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStream, SeedSequenceFactory, ZipfGenerator
+
+
+class TestRandomStream:
+    def test_same_seed_same_sequence(self):
+        a = RandomStream(1, "x")
+        b = RandomStream(1, "x")
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_different_names_differ(self):
+        a = RandomStream(1, "x")
+        b = RandomStream(1, "y")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStream(1, "x")
+        b = RandomStream(2, "x")
+        assert a.uniform() != b.uniform()
+
+    def test_exponential_positive(self):
+        stream = RandomStream(3, "exp")
+        assert all(stream.exponential(1.0) > 0 for _ in range(50))
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            RandomStream(3, "exp").exponential(0.0)
+
+    def test_integers_within_bounds(self):
+        stream = RandomStream(4, "ints")
+        values = [stream.integers(2, 7) for _ in range(200)]
+        assert min(values) >= 2 and max(values) < 7
+
+    def test_choice_uniform(self):
+        stream = RandomStream(5, "choice")
+        items = ["a", "b", "c"]
+        assert all(stream.choice(items) in items for _ in range(50))
+
+    def test_choice_weighted_respects_zero_weight(self):
+        stream = RandomStream(6, "wchoice")
+        picks = {stream.choice(["a", "b"], weights=[1.0, 0.0]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_choice_rejects_zero_weight_sum(self):
+        with pytest.raises(ValueError):
+            RandomStream(6, "w").choice(["a"], weights=[0.0])
+
+    def test_shuffle_preserves_elements(self):
+        stream = RandomStream(7, "shuffle")
+        items = list(range(20))
+        stream.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+
+class TestSeedSequenceFactory:
+    def test_stream_is_cached(self):
+        factory = SeedSequenceFactory(1)
+        assert factory.stream("a") is factory.stream("a")
+
+    def test_streams_independent_of_creation_order(self):
+        f1 = SeedSequenceFactory(1)
+        f2 = SeedSequenceFactory(1)
+        f1.stream("a")  # extra stream created first
+        assert f1.stream("b").uniform() == f2.stream("b").uniform()
+
+    def test_fork_creates_independent_namespace(self):
+        factory = SeedSequenceFactory(1)
+        child = factory.fork("child")
+        assert factory.stream("a").uniform() != child.stream("a").uniform()
+
+    def test_fork_deterministic(self):
+        a = SeedSequenceFactory(1).fork("c").stream("x").uniform()
+        b = SeedSequenceFactory(1).fork("c").stream("x").uniform()
+        assert a == b
+
+
+class TestZipfGenerator:
+    def test_rejects_bad_support(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0, 1.0, RandomStream(1, "z"))
+
+    def test_rejects_negative_theta(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, -0.5, RandomStream(1, "z"))
+
+    def test_samples_within_range(self):
+        zipf = ZipfGenerator(100, 0.9, RandomStream(2, "z"))
+        samples = [zipf.sample() for _ in range(500)]
+        assert min(samples) >= 0 and max(samples) < 100
+
+    def test_skew_favours_low_ranks(self):
+        zipf = ZipfGenerator(1000, 1.2, RandomStream(3, "z"))
+        samples = zipf.sample_many(5000)
+        top_share = np.mean(samples < 100)
+        assert top_share > 0.5  # strongly skewed towards the head
+
+    def test_theta_zero_is_uniform(self):
+        zipf = ZipfGenerator(10, 0.0, RandomStream(4, "z"))
+        assert zipf.probability(0) == pytest.approx(0.1)
+        assert zipf.probability(9) == pytest.approx(0.1)
+
+    def test_probabilities_sum_to_one(self):
+        zipf = ZipfGenerator(50, 0.8, RandomStream(5, "z"))
+        total = sum(zipf.probability(rank) for rank in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_monotone_decreasing(self):
+        zipf = ZipfGenerator(50, 0.8, RandomStream(6, "z"))
+        probs = [zipf.probability(rank) for rank in range(50)]
+        assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_probability_rejects_out_of_range(self):
+        zipf = ZipfGenerator(5, 0.8, RandomStream(7, "z"))
+        with pytest.raises(IndexError):
+            zipf.probability(5)
+
+    def test_sample_many_count(self):
+        zipf = ZipfGenerator(10, 0.5, RandomStream(8, "z"))
+        assert len(zipf.sample_many(123)) == 123
+
+    def test_sample_many_rejects_negative(self):
+        zipf = ZipfGenerator(10, 0.5, RandomStream(8, "z"))
+        with pytest.raises(ValueError):
+            zipf.sample_many(-1)

@@ -1,0 +1,145 @@
+"""Unit tests for Markov client sessions."""
+
+import pytest
+
+from repro.cluster.replica import Replica
+from repro.cluster.scheduler import Scheduler
+from repro.cluster.server import PhysicalServer
+from repro.sim.rng import SeedSequenceFactory
+from repro.workloads.clients import ClosedLoopDriver
+from repro.workloads.load import ConstantLoad
+from repro.workloads.sessions import MarkovSessionModel, session_model_from_mix
+from repro.workloads.tpcw import build_tpcw
+
+
+def two_state_model(p_stay=0.9):
+    return MarkovSessionModel(
+        ["browse", "buy"],
+        {
+            "browse": {"browse": p_stay, "buy": 1 - p_stay},
+            "buy": {"browse": 1 - p_stay, "buy": p_stay},
+        },
+        start="browse",
+    )
+
+
+class TestModelValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MarkovSessionModel([], {}, start=None)
+
+    def test_rejects_duplicate_classes(self):
+        with pytest.raises(ValueError):
+            MarkovSessionModel(["a", "a"], {"a": {"a": 1.0}})
+
+    def test_rejects_unknown_start(self):
+        with pytest.raises(ValueError):
+            MarkovSessionModel(["a"], {"a": {"a": 1.0}}, start="b")
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(ValueError):
+            MarkovSessionModel(["a"], {"a": {"a": 1.0}, "x": {"a": 1.0}})
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(ValueError):
+            MarkovSessionModel(["a"], {"a": {"ghost": 1.0}})
+
+    def test_rejects_missing_rows(self):
+        with pytest.raises(ValueError):
+            MarkovSessionModel(["a", "b"], {"a": {"a": 1.0}})
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            MarkovSessionModel(["a", "b"], {"a": {"b": -1.0}, "b": {"a": 1.0}})
+
+    def test_rows_normalised(self):
+        model = MarkovSessionModel(
+            ["a", "b"], {"a": {"a": 2.0, "b": 2.0}, "b": {"a": 4.0}}
+        )
+        assert model.transition_probability("a", "b") == 0.5
+        assert model.transition_probability("b", "a") == 1.0
+
+
+class TestChainBehaviour:
+    def test_sticky_chain_rarely_switches(self):
+        model = two_state_model(p_stay=0.95)
+        stream = SeedSequenceFactory(1).stream("s")
+        switches = 0
+        state = "browse"
+        for _ in range(500):
+            nxt = model.next_class(state, stream)
+            switches += nxt != state
+            state = nxt
+        assert switches < 80
+
+    def test_stationary_distribution_symmetric_chain(self):
+        pi = two_state_model(p_stay=0.7).stationary_distribution()
+        assert pi["browse"] == pytest.approx(0.5, abs=0.01)
+        assert pi["buy"] == pytest.approx(0.5, abs=0.01)
+
+    def test_stationary_sums_to_one(self):
+        pi = two_state_model().stationary_distribution()
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+
+class TestModelFromMix:
+    def test_stationary_matches_mix(self):
+        workload = build_tpcw(seed=5)
+        model = session_model_from_mix(workload, persistence=0.4)
+        pi = model.stationary_distribution()
+        total = sum(entry.weight for entry in workload.mix)
+        for entry in workload.mix:
+            assert pi[entry.query_class.name] == pytest.approx(
+                entry.weight / total, abs=0.01
+            )
+
+    def test_persistence_appears_on_diagonal(self):
+        workload = build_tpcw(seed=5)
+        model = session_model_from_mix(workload, persistence=0.5)
+        assert model.transition_probability("home", "home") > 0.5
+
+    def test_rejects_bad_persistence(self):
+        with pytest.raises(ValueError):
+            session_model_from_mix(build_tpcw(seed=5), persistence=1.0)
+
+
+class TestDriverIntegration:
+    def make_driver(self, session_model):
+        workload = build_tpcw(seed=5)
+        scheduler = Scheduler(workload.app)
+        scheduler.add_replica(Replica.create("r1", workload.app, PhysicalServer("s")))
+        return workload, ClosedLoopDriver(
+            workload,
+            scheduler,
+            load=ConstantLoad(6),
+            session_model=session_model,
+        )
+
+    def test_driver_walks_the_chain(self):
+        workload, driver = self.make_driver(
+            session_model_from_mix(build_tpcw(seed=5), persistence=0.3)
+        )
+        submitted = driver.run_interval(0.0, 10.0)
+        assert submitted > 0
+
+    def test_class_frequencies_close_to_mix(self):
+        workload = build_tpcw(seed=5)
+        model = session_model_from_mix(workload, persistence=0.3)
+        _, driver = self.make_driver(model)
+        for start in range(0, 200, 10):
+            driver.run_interval(float(start), 10.0)
+        engine = driver.scheduler.replicas["r1"].engine
+        engine.flush_logs()
+        counts = {
+            key: stats.executions
+            for key, stats in engine.log.interval_snapshot().items()
+        }
+        total = sum(counts.values())
+        mix_total = sum(entry.weight for entry in workload.mix)
+        # The heavyweight classes' empirical shares track the mix.
+        for name in ("product_detail", "home"):
+            expected = next(
+                e.weight for e in workload.mix if e.query_class.name == name
+            ) / mix_total
+            observed = counts.get(f"tpcw/{name}", 0) / total
+            assert observed == pytest.approx(expected, abs=0.05)

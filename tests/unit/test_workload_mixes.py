@@ -1,0 +1,79 @@
+"""Unit tests for the standard TPC-W / RUBiS interaction mixes."""
+
+import pytest
+
+from repro.workloads.rubis import RUBIS_MIXES, build_rubis
+from repro.workloads.tpcw import TPCW_MIXES, build_tpcw
+
+
+class TestTpcwMixes:
+    def test_shopping_is_default(self):
+        assert build_tpcw().write_fraction == pytest.approx(
+            build_tpcw(mix="shopping").write_fraction
+        )
+
+    def test_shopping_write_fraction(self):
+        # TPC-W spec: the shopping mix carries 20% writes.
+        assert build_tpcw(mix="shopping").write_fraction == pytest.approx(0.20)
+
+    def test_browsing_write_fraction(self):
+        # TPC-W spec: ~5% writes in the browsing mix.
+        assert build_tpcw(mix="browsing").write_fraction < 0.08
+
+    def test_ordering_write_fraction(self):
+        # TPC-W spec: ~50% writes in the ordering mix.
+        assert 0.40 < build_tpcw(mix="ordering").write_fraction < 0.60
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            build_tpcw(mix="chaos")
+
+    def test_all_mixes_keep_every_class(self):
+        for mix in TPCW_MIXES:
+            assert len(build_tpcw(mix=mix).classes()) == 14
+
+    def test_browsing_favours_reads(self):
+        shopping = build_tpcw(mix="shopping")
+        browsing = build_tpcw(mix="browsing")
+
+        def weight(workload, name):
+            for entry in workload.mix:
+                if entry.query_class.name == name:
+                    return entry.weight
+            raise KeyError(name)
+
+        total_s = sum(e.weight for e in shopping.mix)
+        total_b = sum(e.weight for e in browsing.mix)
+        assert weight(browsing, "best_seller") / total_b > weight(
+            shopping, "best_seller"
+        ) / total_s
+
+    def test_mixes_share_page_spaces(self):
+        # The mix only reweights; the schema and classes are identical.
+        a = build_tpcw(mix="shopping").class_named("home")
+        b = build_tpcw(mix="ordering").class_named("home")
+        assert a.execute_pages().demand == b.execute_pages().demand
+
+
+class TestRubisMixes:
+    def test_bidding_is_default(self):
+        assert build_rubis().write_fraction == pytest.approx(0.15)
+
+    def test_browsing_is_read_only(self):
+        assert build_rubis(mix="browsing").write_fraction == 0.0
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            build_rubis(mix="chaos")
+
+    def test_browsing_write_classes_never_sampled(self):
+        from repro.sim.rng import SeedSequenceFactory
+
+        workload = build_rubis(mix="browsing")
+        stream = SeedSequenceFactory(77).stream("mix")
+        for _ in range(500):
+            assert not workload.sample_class(stream).is_write
+
+    def test_all_mix_names_documented(self):
+        assert set(RUBIS_MIXES) == {"bidding", "browsing"}
+        assert set(TPCW_MIXES) == {"shopping", "browsing", "ordering"}
