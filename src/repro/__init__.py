@@ -51,7 +51,8 @@ from .engine import (
     PartitionedBufferPool,
     QueryClass,
 )
-from .experiments.runner import ClusterHarness, HarnessResult
+from .experiments.runner import ClusterHarness, HarnessResult, quickstart_scenario
+from .obs import MetricRegistry, Observability, Tracer
 from .workloads import (
     BEST_SELLER,
     NEW_PRODUCTS,
@@ -84,10 +85,12 @@ __all__ = [
     "MRCParameters",
     "MRCTracker",
     "Metric",
+    "MetricRegistry",
     "MetricVector",
     "MissRatioCurve",
     "NEW_PRODUCTS",
     "O_DATE_INDEX",
+    "Observability",
     "OutlierReport",
     "PartitionedBufferPool",
     "PhysicalServer",
@@ -102,6 +105,7 @@ __all__ = [
     "SineLoad",
     "StepLoad",
     "TPCW_APP",
+    "Tracer",
     "VirtualMachine",
     "Workload",
     "XenHost",
@@ -110,5 +114,6 @@ __all__ = [
     "build_tpcw",
     "detect_outliers",
     "find_quotas",
+    "quickstart_scenario",
     "stack_distances",
 ]

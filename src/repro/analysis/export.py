@@ -1,10 +1,12 @@
-"""JSON export of experiment results.
+"""JSON export of experiment results and run telemetry.
 
 Benchmarks and the CLI print human tables; downstream tooling (plotting,
 regression dashboards) wants machine-readable output.  ``to_jsonable``
 converts any of the experiment result dataclasses — nested dataclasses,
 enums, numpy scalars and all — into plain JSON types, and ``export_result``
-writes them to disk.
+writes them to disk.  ``export_telemetry`` writes an instrumented run's
+spans and metric snapshots as deterministic JSONL (see
+:mod:`repro.obs.export` for the schema).
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["to_jsonable", "export_result"]
+__all__ = ["to_jsonable", "export_result", "export_telemetry"]
 
 
 def to_jsonable(value):
@@ -55,3 +57,15 @@ def export_result(path: str | Path, result, indent: int = 2) -> Path:
     payload = to_jsonable(result)
     path.write_text(json.dumps(payload, indent=indent, sort_keys=True) + "\n")
     return path
+
+
+def export_telemetry(path: str | Path, observability, meta=None) -> Path:
+    """Write an instrumented run's telemetry as deterministic JSONL.
+
+    Thin front door over :func:`repro.obs.export.write_telemetry` so that
+    every export lives under ``repro.analysis``; imported lazily because
+    ``repro.obs.report`` renders through this package's tables.
+    """
+    from ..obs.export import write_telemetry
+
+    return write_telemetry(path, observability, meta=meta)

@@ -8,6 +8,7 @@ Usage::
     python -m repro fig5 | fig6          # miss-ratio curves
     python -m repro table1 | table2 | table3
     python -m repro locks                # the future-work lock scenario
+    python -m repro obs report           # telemetry summary of the quickstart
     python -m repro all                  # everything, in order
 
 Each command runs the corresponding deterministic experiment and prints
@@ -173,6 +174,61 @@ def _locks(args) -> int:
     return 0
 
 
+def _obs(args) -> int:
+    """``repro obs report`` — run the instrumented quickstart, summarise it."""
+    from .obs import Observability, telemetry_lines
+    from .obs.report import TelemetrySummary
+
+    if getattr(args, "input", None):
+        try:
+            text = open(args.input, encoding="utf-8").read()
+        except OSError as error:
+            print(f"repro obs report: cannot read {args.input}: {error}",
+                  file=sys.stderr)
+            return 2
+        try:
+            summary = TelemetrySummary.from_lines(
+                line for line in text.splitlines() if line
+            )
+        except ValueError as error:  # bad JSON or unknown record type
+            print(f"repro obs report: malformed telemetry in {args.input}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        print(summary.render())
+        return 0
+
+    obs = Observability()
+    scenario = getattr(args, "scenario", "index-drop")
+    if scenario == "quickstart":
+        from .experiments.runner import quickstart_scenario
+
+        intervals = args.intervals or 12
+        clients = args.clients or 25
+        quickstart_scenario(obs=obs, intervals=intervals, clients=clients)
+        meta = {
+            "scenario": "quickstart",
+            "intervals": intervals,
+            "clients": clients,
+            "seed": 7,
+        }
+    else:
+        from .experiments.index_drop import IndexDropConfig, run_index_drop
+
+        clients = args.clients or 60
+        run_index_drop(IndexDropConfig(clients=clients), obs=obs)
+        meta = {"scenario": "index-drop", "clients": clients, "seed": 7}
+    lines = telemetry_lines(obs, meta=meta)
+    if getattr(args, "export", None):
+        from .analysis.export import export_telemetry
+
+        path = export_telemetry(args.export, obs, meta=meta)
+        print(f"telemetry written: {path}")
+        print()
+    summary = TelemetrySummary.from_lines(lines)
+    print(summary.render())
+    return 0
+
+
 def _list(args) -> int:
     print("Reproducible artefacts:")
     for name, help_text in sorted(_COMMANDS.items()):
@@ -199,6 +255,7 @@ _COMMANDS = {
     "table2": (_table2, "shared-pool memory contention (TPC-W + RUBiS)"),
     "table3": (_table3, "Xen dom0 I/O contention (two RUBiS domains)"),
     "locks": (_locks, "lock-contention anomaly (the paper's future work)"),
+    "obs": (_obs, "telemetry: span timings, recomputations, actions"),
     "all": (_all, "run every artefact in order"),
 }
 
@@ -213,6 +270,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     for name, (_, help_text) in _COMMANDS.items():
+        if name == "obs":
+            # Observability has its own sub-tree: `repro obs report [...]`.
+            obs = subparsers.add_parser(name, help=help_text)
+            obs_subparsers = obs.add_subparsers(dest="obs_command", required=True)
+            report = obs_subparsers.add_parser(
+                "report",
+                help="run an instrumented scenario and summarise telemetry",
+            )
+            report.add_argument("--scenario", choices=("index-drop", "quickstart"),
+                                default="index-drop",
+                                help="which scenario to instrument (default: "
+                                     "index-drop, the full retuning pipeline)")
+            report.add_argument("--clients", type=int, default=None,
+                                help="override the emulated client population")
+            report.add_argument("--intervals", type=int, default=None,
+                                help="override the number of measurement intervals")
+            report.add_argument("--export", type=str, default=None,
+                                help="also write telemetry JSONL to this path")
+            report.add_argument("--input", type=str, default=None,
+                                help="summarise an existing telemetry JSONL "
+                                     "instead of running the scenario")
+            continue
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--clients", type=int, default=None,
                          help="override the emulated client population")

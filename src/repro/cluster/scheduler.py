@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from ..engine.query import QueryClass
 from ..engine.statslog import ExecutionRecord
+from ..obs import NULL_OBS
 from .consistency import ReplicationState
 from .replica import Replica
 
@@ -99,6 +100,9 @@ class Scheduler:
         self.read_policy = read_policy
         self.app = app
         self.sla_latency = sla_latency
+        # The controller injects its observability handle when the scheduler
+        # is wired in; the no-op default keeps standalone use overhead-free.
+        self.obs = NULL_OBS
         self.interval_length = interval_length
         self.async_replication = async_replication
         self.propagation_delay = propagation_delay
@@ -369,6 +373,25 @@ class Scheduler:
             interval_index=self._interval_index,
             interval_length=self.interval_length,
         )
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("scheduler.queries", app=self.app).inc(
+                finished.queries
+            )
+            registry.gauge("scheduler.pending_writes", app=self.app).set(
+                self.pending_writes
+            )
+            registry.gauge("scheduler.replicas", app=self.app).set(
+                len(self.replicas)
+            )
+            if finished.queries:
+                registry.histogram(
+                    "scheduler.interval_latency", app=self.app
+                ).observe(finished.mean_latency)
+                if not finished.sla_met(self.sla_latency):
+                    registry.counter(
+                        "scheduler.sla_violations", app=self.app
+                    ).inc()
         return finished
 
     def peek_metrics(self) -> AppIntervalMetrics:

@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..engine.engine import DatabaseEngine
+from ..obs import NULL_OBS, Observability
 from .metrics import MetricVector, vector_from_stats
 from .mrc import MissRatioCurve, MRCParameters, MRCTracker
 from .outliers import OutlierReport, detect_outliers, top_k_heavyweight
@@ -39,11 +40,19 @@ def _app_of(context_key: str) -> str:
 class LogAnalyzer:
     """Monitors one database engine and detects outlier contexts on it."""
 
-    def __init__(self, engine: DatabaseEngine, server_name: str) -> None:
+    def __init__(
+        self,
+        engine: DatabaseEngine,
+        server_name: str,
+        obs: Observability | None = None,
+    ) -> None:
         self.engine = engine
         self.server_name = server_name
+        self.obs = obs if obs is not None else NULL_OBS
         self.signatures = SignatureStore(server=server_name)
-        self.mrc = MRCTracker(server_memory_pages=engine.pool_pages)
+        self.mrc = MRCTracker(
+            server_memory_pages=engine.pool_pages, registry=self.obs.registry
+        )
         self._last_vectors: dict[str, MetricVector] = {}
         self._mrc_window_len: dict[str, int] = {}
         self._intervals_closed = 0
@@ -78,10 +87,29 @@ class LogAnalyzer:
         are deliberately left without an MRC so diagnosis recognises them as
         newly scheduled problem classes.
         """
+        with self.obs.tracer.span(
+            "analyzer.drain",
+            attrs={"engine": self.engine.name, "server": self.server_name},
+        ) as span:
+            vectors = self._drain(
+                interval_length, sla_met_by_app, timestamp,
+                initial_mrc_min_accesses, span,
+            )
+        return vectors
+
+    def _drain(
+        self,
+        interval_length: float,
+        sla_met_by_app: dict[str, bool],
+        timestamp: float,
+        initial_mrc_min_accesses: int,
+        span,
+    ) -> dict[str, MetricVector]:
         self.engine.flush_logs()
         self.last_waits_for = self.engine.locks.reset_waits_for()
         self.last_lock_stats = self.engine.locks.interval_snapshot()
         snapshot = self.engine.log.interval_snapshot()
+        span.add_cost(sum(stats.executions for stats in snapshot.values()))
         vectors = {
             key: vector_from_stats(stats, interval_length)
             for key, stats in snapshot.items()
@@ -113,7 +141,29 @@ class LogAnalyzer:
             self._first_seen.setdefault(key, self._intervals_closed)
         self._intervals_closed += 1
         self._last_vectors = vectors
+        self._publish_pool_metrics()
         return vectors
+
+    def _publish_pool_metrics(self) -> None:
+        """Export the engine pool's cumulative counters as gauges.
+
+        Published at interval close rather than on every page access, so the
+        buffer pool's hot path carries no instrumentation calls at all.
+        """
+        registry = self.obs.registry
+        if not registry.enabled:
+            return
+        pool = self.engine.pool
+        labels = {"engine": self.engine.name, "server": self.server_name}
+        registry.gauge("bufferpool.hits", **labels).set(pool.stats.hits)
+        registry.gauge("bufferpool.misses", **labels).set(pool.stats.misses)
+        registry.gauge("bufferpool.readaheads", **labels).set(
+            pool.stats.readaheads
+        )
+        registry.gauge("bufferpool.evictions", **labels).set(
+            pool.total_evictions
+        )
+        registry.gauge("bufferpool.resident_pages", **labels).set(len(pool))
 
     def current_vectors(self, app: str | None = None) -> dict[str, MetricVector]:
         """The most recent interval's vectors, optionally for one app."""
@@ -214,7 +264,12 @@ class LogAnalyzer:
                 trace = trace[-tail:]
         if len(trace) > MAX_MRC_TRACE:
             trace = trace[-MAX_MRC_TRACE:]
-        params = self.mrc.compute(context_key, trace)
+        with self.obs.tracer.span(
+            "mrc.recompute",
+            attrs={"context": context_key, "recent_only": recent_only},
+        ) as span:
+            span.add_cost(len(trace))
+            params = self.mrc.compute(context_key, trace)
         self.signatures.set_mrc(context_key, params)
         self._mrc_window_len[context_key] = len(window)
         return params
@@ -266,9 +321,13 @@ class LogAnalyzer:
         # the recent tail may already exhibit the new behaviour.  The oldest
         # resident history is the best stable-era evidence available.
         before = trace[: min(tail, len(trace) - tail)]
-        recent_curve = MissRatioCurve.from_trace(recent)
-        recent_params = recent_curve.parameters(self.mrc.server_memory_pages)
-        self.mrc.store(context_key, recent_curve, recent_params)
+        with self.obs.tracer.span(
+            "mrc.recompute", attrs={"context": context_key, "assess": True}
+        ) as span:
+            span.add_cost(len(recent))
+            recent_curve = MissRatioCurve.from_trace(recent)
+            recent_params = recent_curve.parameters(self.mrc.server_memory_pages)
+            self.mrc.store(context_key, recent_curve, recent_params)
         self.signatures.set_mrc(context_key, recent_params)
         self._mrc_window_len[context_key] = len(window)
         if is_new:
@@ -292,6 +351,7 @@ class DecisionManager:
     analyzers of every engine hosted there."""
 
     server_name: str
+    obs: Observability = NULL_OBS
 
     def __post_init__(self) -> None:
         self._analyzers: dict[str, LogAnalyzer] = {}
@@ -299,7 +359,7 @@ class DecisionManager:
     def attach_engine(self, engine: DatabaseEngine) -> LogAnalyzer:
         if engine.name in self._analyzers:
             return self._analyzers[engine.name]
-        analyzer = LogAnalyzer(engine, self.server_name)
+        analyzer = LogAnalyzer(engine, self.server_name, obs=self.obs)
         self._analyzers[engine.name] = analyzer
         return analyzer
 

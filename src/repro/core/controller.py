@@ -23,6 +23,7 @@ from .analyzer import DecisionManager, LogAnalyzer
 from ..cluster.replica import Replica
 from ..cluster.resource_manager import ResourceManager
 from ..cluster.scheduler import AppIntervalMetrics, Scheduler
+from ..obs import NULL_OBS, Observability
 from .diagnosis import (
     Action,
     ActionKind,
@@ -84,9 +85,11 @@ class ClusterController:
         self,
         resource_manager: ResourceManager,
         config: ControllerConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.resource_manager = resource_manager
         self.config = config if config is not None else ControllerConfig()
+        self.obs = obs if obs is not None else NULL_OBS
         self.schedulers: dict[str, Scheduler] = {}
         self._hosts: dict[str, object] = {}
         self._decision_managers: dict[str, DecisionManager] = {}
@@ -106,6 +109,7 @@ class ClusterController:
         if scheduler.app in self.schedulers:
             raise ValueError(f"app {scheduler.app!r} already has a scheduler")
         scheduler.interval_length = self.config.interval_length
+        scheduler.obs = self.obs
         self.schedulers[scheduler.app] = scheduler
         for replica in scheduler.replicas.values():
             self.track_replica(replica)
@@ -130,7 +134,7 @@ class ClusterController:
         host_name = replica.host.name
         manager = self._decision_managers.get(host_name)
         if manager is None:
-            manager = DecisionManager(server_name=host_name)
+            manager = DecisionManager(server_name=host_name, obs=self.obs)
             self._decision_managers[host_name] = manager
         self.register_host(replica.host)
         self.resource_manager.register_existing(replica)
@@ -147,40 +151,54 @@ class ClusterController:
     def close_interval(self, timestamp: float) -> list[AppIntervalReport]:
         """Process one measurement-interval boundary; returns app reports."""
         length = self.config.interval_length
-        app_metrics: dict[str, AppIntervalMetrics] = {}
-        sla_met: dict[str, bool] = {}
-        for app, scheduler in self.schedulers.items():
-            if scheduler.async_replication:
-                scheduler.drain_pending(timestamp)
-            metrics = scheduler.close_interval()
-            app_metrics[app] = metrics
-            sla_met[app] = metrics.sla_met(scheduler.sla_latency)
+        tracer = self.obs.tracer
+        registry = self.obs.registry
+        with tracer.span(
+            "controller.interval",
+            attrs={"interval": self._interval_index},
+            start=max(timestamp - length, 0.0),
+        ):
+            app_metrics: dict[str, AppIntervalMetrics] = {}
+            sla_met: dict[str, bool] = {}
+            for app, scheduler in self.schedulers.items():
+                if scheduler.async_replication:
+                    scheduler.drain_pending(timestamp)
+                metrics = scheduler.close_interval()
+                app_metrics[app] = metrics
+                sla_met[app] = metrics.sla_met(scheduler.sla_latency)
 
-        for host in self._hosts.values():
-            host.close_interval(length)
+            for host in self._hosts.values():
+                host.close_interval(length)
 
-        for manager in self._decision_managers.values():
-            manager.close_interval(length, sla_met, timestamp)
+            for manager in self._decision_managers.values():
+                manager.close_interval(length, sla_met, timestamp)
 
-        reports: list[AppIntervalReport] = []
-        for app in sorted(self.schedulers):
-            metrics = app_metrics[app]
-            report = AppIntervalReport(
-                app=app,
-                interval_index=self._interval_index,
-                timestamp=timestamp,
-                mean_latency=metrics.mean_latency,
-                throughput=metrics.throughput,
-                sla_met=sla_met[app],
-            )
-            if sla_met[app]:
-                self._violation_streak[app] = 0
-                if self.config.scale_down:
-                    self._maybe_scale_down(app, timestamp)
-            elif metrics.queries > 0:
-                self._violation_streak[app] = self._violation_streak.get(app, 0) + 1
-                report.actions = self._react(app, timestamp)
-            reports.append(report)
+            reports: list[AppIntervalReport] = []
+            for app in sorted(self.schedulers):
+                metrics = app_metrics[app]
+                report = AppIntervalReport(
+                    app=app,
+                    interval_index=self._interval_index,
+                    timestamp=timestamp,
+                    mean_latency=metrics.mean_latency,
+                    throughput=metrics.throughput,
+                    sla_met=sla_met[app],
+                )
+                if sla_met[app]:
+                    self._violation_streak[app] = 0
+                    if self.config.scale_down:
+                        self._maybe_scale_down(app, timestamp)
+                elif metrics.queries > 0:
+                    self._violation_streak[app] = (
+                        self._violation_streak.get(app, 0) + 1
+                    )
+                    report.actions = self._react(app, timestamp)
+                for action in report.actions:
+                    registry.counter(
+                        "controller.actions", app=app, kind=action.kind.value
+                    ).inc()
+                reports.append(report)
+            registry.counter("controller.intervals").inc()
         self.reports.extend(reports)
         self._interval_index += 1
         return reports
@@ -240,10 +258,17 @@ class ClusterController:
                 app=app,
                 reason="fine-grained retuning disabled (coarse-only baseline)",
             )
-            self._apply(action, timestamp)
+            with self.obs.tracer.span(
+                "actions.apply", attrs={"app": app, "kinds": action.kind.value}
+            ) as span:
+                applied = self._apply(action, timestamp)
+                span.set_attr("applied", int(applied))
+                span.add_cost(1)
             return [action]
 
-        diagnosis = diagnose(app, scheduler, views, self.config.diagnosis)
+        diagnosis = diagnose(
+            app, scheduler, views, self.config.diagnosis, obs=self.obs
+        )
         self.diagnoses.append(diagnosis)
         actions = list(diagnosis.actions)
         streak = self._violation_streak.get(app, 0)
@@ -277,7 +302,16 @@ class ClusterController:
             ]
         if any(a.kind in fine_kinds for a in actions):
             self._fine_action_tried[app] = True
-        applied = [a for a in actions if self._apply(a, timestamp)]
+        with self.obs.tracer.span(
+            "actions.apply",
+            attrs={
+                "app": app,
+                "kinds": ",".join(sorted({a.kind.value for a in actions})),
+            },
+        ) as span:
+            applied = [a for a in actions if self._apply(a, timestamp)]
+            span.set_attr("applied", len(applied))
+            span.add_cost(len(actions))
         if applied:
             self._last_action_interval[app] = self._interval_index
         return actions

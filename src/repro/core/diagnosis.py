@@ -28,6 +28,7 @@ from enum import Enum
 
 from .analyzer import LogAnalyzer
 from ..cluster.scheduler import Scheduler
+from ..obs import NULL_OBS, Observability
 from .metrics import Metric
 from .mrc import MRCParameters
 from .outliers import OutlierReport, top_k_heavyweight
@@ -125,11 +126,46 @@ def diagnose(
     scheduler: Scheduler,
     views: list[ReplicaView],
     config: DiagnosisConfig | None = None,
+    obs: Observability | None = None,
 ) -> Diagnosis:
-    """Run the full decision procedure for one violated application."""
-    config = config if config is not None else DiagnosisConfig()
-    result = Diagnosis(app=app)
+    """Run the full decision procedure for one violated application.
 
+    With an :class:`Observability` handle the run is wrapped in a
+    ``diagnosis.run`` span carrying the app, the outlier context keys it
+    found, and the primary :class:`ActionKind` it chose; the MRC
+    recomputations it triggers nest underneath as ``mrc.recompute`` spans.
+    """
+    config = config if config is not None else DiagnosisConfig()
+    obs = obs if obs is not None else NULL_OBS
+    result = Diagnosis(app=app)
+    with obs.tracer.span("diagnosis.run", attrs={"app": app}) as span:
+        span.add_cost(len(views))
+        _run_procedure(app, scheduler, views, config, result)
+        span.set_attr("action", result.primary.kind.value)
+        outliers = sorted(
+            {
+                key
+                for report in result.outlier_reports.values()
+                for key in report.memory_outlier_contexts()
+            }
+        )
+        if outliers:
+            span.set_attr("outliers", ",".join(outliers))
+        suspects = sorted(
+            {key for keys in result.suspects.values() for key in keys}
+        )
+        if suspects:
+            span.set_attr("suspects", ",".join(suspects))
+    return result
+
+
+def _run_procedure(
+    app: str,
+    scheduler: Scheduler,
+    views: list[ReplicaView],
+    config: DiagnosisConfig,
+    result: Diagnosis,
+) -> Diagnosis:
     # --- Step 1: CPU saturation → reactive provisioning ----------------- #
     for view in views:
         if view.cpu_saturated:

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.registry import MetricRegistry, NULL_REGISTRY
+
 __all__ = [
     "FenwickTree",
     "stack_distances",
@@ -190,7 +192,15 @@ class MissRatioCurve:
         )
 
     def _smallest_size_with_ratio(self, target: float) -> int:
-        """Smallest m with MR(m) <= target (binary search on hits)."""
+        """Smallest m with MR(m) <= target (binary search on hits).
+
+        The result is clamped to ``[1, max_depth]``: a pool needs at least
+        one page, and sizes beyond the deepest observed reuse are all
+        equivalent.  When the trace has no reuse at all (``max_depth == 0``
+        — every reference a cold miss) every size is equivalent too, so 1 is
+        returned for any target, matching :meth:`parameters`' semantics of
+        "the size at which only cold misses remain" (tests pin this).
+        """
         if self.total_accesses == 0:
             return 1
         needed_hits = (1.0 - target) * self.total_accesses
@@ -251,6 +261,7 @@ class MRCTracker:
         self,
         server_memory_pages: int,
         acceptable_threshold: float = DEFAULT_ACCEPTABLE_THRESHOLD,
+        registry: MetricRegistry | None = None,
     ) -> None:
         if server_memory_pages <= 0:
             raise ValueError(
@@ -258,9 +269,16 @@ class MRCTracker:
             )
         self.server_memory_pages = server_memory_pages
         self.acceptable_threshold = acceptable_threshold
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._curves: dict[str, MissRatioCurve] = {}
         self._parameters: dict[str, MRCParameters] = {}
         self.recomputations = 0
+
+    def _record_recomputation(self, context_key: str, trace_length: int) -> None:
+        self.recomputations += 1
+        app = context_key.split("/", 1)[0]
+        self.registry.counter("mrc.recomputations", app=app).inc()
+        self.registry.histogram("mrc.trace_length").observe(trace_length)
 
     def has(self, context_key: str) -> bool:
         return context_key in self._parameters
@@ -275,7 +293,7 @@ class MRCTracker:
         )
         self._curves[context_key] = curve
         self._parameters[context_key] = params
-        self.recomputations += 1
+        self._record_recomputation(context_key, len(trace))
         return params
 
     def store(
@@ -284,7 +302,7 @@ class MRCTracker:
         """Record an externally computed curve (counts as a recomputation)."""
         self._curves[context_key] = curve
         self._parameters[context_key] = params
-        self.recomputations += 1
+        self._record_recomputation(context_key, curve.total_accesses)
 
     def parameters_of(self, context_key: str) -> MRCParameters:
         try:

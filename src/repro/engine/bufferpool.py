@@ -31,11 +31,13 @@ __all__ = [
 
 @dataclass
 class PoolStats:
-    """Hit/miss/read-ahead counters, kept globally and per query class."""
+    """Hit/miss/read-ahead/eviction counters, kept globally and (except
+    evictions, whose victim class is unknowable) per query class."""
 
     hits: int = 0
     misses: int = 0
     readaheads: int = 0
+    evictions: int = 0
     per_class: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def _bucket(self, query_class: str) -> dict[str, int]:
@@ -54,6 +56,9 @@ class PoolStats:
     def record_readahead(self, query_class: str, count: int = 1) -> None:
         self.readaheads += count
         self._bucket(query_class)["readaheads"] += count
+
+    def record_eviction(self, count: int = 1) -> None:
+        self.evictions += count
 
     @property
     def accesses(self) -> int:
@@ -83,6 +88,7 @@ class PoolStats:
         self.hits = 0
         self.misses = 0
         self.readaheads = 0
+        self.evictions = 0
         self.per_class.clear()
 
 
@@ -109,6 +115,11 @@ class BufferPool:
         raise NotImplementedError
 
     def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def total_evictions(self) -> int:
+        """Pages pushed out by replacement, across every partition."""
         raise NotImplementedError
 
 
@@ -156,7 +167,12 @@ class LRUBufferPool(BufferPool):
     def _admit(self, page_id: int) -> None:
         while len(self._pages) >= self.capacity:
             self._pages.popitem(last=False)
+            self.stats.evictions += 1
         self._pages[page_id] = None
+
+    @property
+    def total_evictions(self) -> int:
+        return self.stats.evictions
 
     def lru_order(self) -> list[int]:
         """Resident page ids from least to most recently used."""
@@ -236,6 +252,10 @@ class PartitionedBufferPool(BufferPool):
         if fetched:
             self.stats.record_readahead(query_class, fetched)
         return fetched
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(pool.stats.evictions for pool in self._partitions.values())
 
     def partition_stats(self, partition: str) -> PoolStats:
         return self._partitions[partition].stats

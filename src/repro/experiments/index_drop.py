@@ -57,8 +57,15 @@ def scale_cpu_costs(workload, factor: float) -> None:
         query_class.cpu_cost *= factor
 
 
-def run_index_drop(config: IndexDropConfig | None = None) -> IndexDropResult:
-    """Run the full §5.3 scenario and collect the Figure 4 evidence."""
+def run_index_drop(
+    config: IndexDropConfig | None = None, obs=None
+) -> IndexDropResult:
+    """Run the full §5.3 scenario and collect the Figure 4 evidence.
+
+    ``obs`` optionally takes a :class:`repro.obs.Observability` handle;
+    the scenario exercises every pipeline stage (violation → diagnosis →
+    quota action), so it is the telemetry showcase of ``repro obs report``.
+    """
     config = config if config is not None else IndexDropConfig()
     workload = build_tpcw(seed=config.seed)
     scale_cpu_costs(workload, CPU_SCALE)
@@ -73,6 +80,7 @@ def run_index_drop(config: IndexDropConfig | None = None) -> IndexDropResult:
             fallback_patience=4,
             diagnosis=DiagnosisConfig(mrc_change_threshold=0.25),
         ),
+        obs=obs,
     )
     result = IndexDropResult()
 

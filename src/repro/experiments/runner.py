@@ -20,12 +20,13 @@ from ..cluster.server import PhysicalServer, ServerSpec
 from ..core.controller import AppIntervalReport, ClusterController, ControllerConfig
 from ..engine.engine import DatabaseEngine, EngineConfig
 from ..engine.executor import CostModel
+from ..obs import Observability
 from ..sim.clock import SimClock
 from ..workloads.base import Workload
 from ..workloads.clients import ClosedLoopDriver
 from ..workloads.load import ConstantLoad, LoadFunction
 
-__all__ = ["HarnessResult", "ClusterHarness"]
+__all__ = ["HarnessResult", "ClusterHarness", "quickstart_scenario"]
 
 IntervalHook = Callable[["ClusterHarness"], None]
 
@@ -83,6 +84,9 @@ class ClusterHarness:
         self.controller = controller
         self.resource_manager = controller.resource_manager
         self.clock = clock if clock is not None else SimClock()
+        self.obs = controller.obs
+        # Spans opened by the controller must read the harness clock.
+        self.obs.bind_clock(self.clock)
         self.drivers: dict[str, ClosedLoopDriver] = {}
         self.workloads: dict[str, Workload] = {}
         self.hooks: dict[int, list[IntervalHook]] = {}
@@ -104,6 +108,7 @@ class ClusterHarness:
         config: ControllerConfig | None = None,
         think_time_mean: float = 1.0,
         cost_model: CostModel | None = None,
+        obs: Observability | None = None,
     ) -> "ClusterHarness":
         """One application on a pool of ``servers`` machines, one initial replica."""
         manager = ResourceManager(cost_model=cost_model)
@@ -111,7 +116,7 @@ class ClusterHarness:
             manager.add_server(
                 PhysicalServer(f"server-{index + 1}", spec=server_spec)
             )
-        controller = ClusterController(manager, config=config)
+        controller = ClusterController(manager, config=config, obs=obs)
         harness = cls(controller)
         scheduler = Scheduler(
             workload.app,
@@ -137,6 +142,7 @@ class ClusterHarness:
         think_time_mean: float = 1.0,
         cost_model: CostModel | None = None,
         server_spec: ServerSpec | None = None,
+        obs: Observability | None = None,
     ) -> "ClusterHarness":
         """Several applications inside **one** database engine on one server.
 
@@ -151,7 +157,7 @@ class ClusterHarness:
         manager.add_server(shared_server)
         for index in range(spare_servers):
             manager.add_server(PhysicalServer(f"server-spare-{index + 1}"))
-        controller = ClusterController(manager, config=config)
+        controller = ClusterController(manager, config=config, obs=obs)
         harness = cls(controller)
         engine = DatabaseEngine(
             EngineConfig(
@@ -261,3 +267,33 @@ class ClusterHarness:
         for replica in self.replicas_of(app):
             seen.setdefault(replica.engine.name, replica.engine)
         return list(seen.values())
+
+
+def quickstart_scenario(
+    obs: Observability | None = None,
+    intervals: int = 12,
+    clients: int = 25,
+    servers: int = 3,
+    seed: int = 7,
+    sla_latency: float = 1.0,
+) -> tuple[ClusterHarness, HarnessResult]:
+    """The ``examples/quickstart.py`` scenario as a reusable function.
+
+    A three-server TPC-W cluster under a closed-loop client population,
+    run for ``intervals`` measurement intervals.  The defaults match the
+    quickstart example exactly; the determinism regression suite and
+    ``repro obs report --scenario quickstart`` both run precisely this
+    scenario, so its telemetry doubles as a golden artefact.
+    """
+    from ..workloads import build_tpcw
+
+    workload = build_tpcw(seed=seed)
+    harness = ClusterHarness.single_app(
+        workload,
+        servers=servers,
+        clients=clients,
+        sla_latency=sla_latency,
+        obs=obs,
+    )
+    result = harness.run(intervals=intervals)
+    return harness, result

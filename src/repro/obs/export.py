@@ -1,0 +1,80 @@
+"""JSONL serialisation of telemetry: spans first, then metric snapshots.
+
+One line per record, three record types:
+
+* ``{"record": "meta", "version": 1, ...}`` — one header line describing
+  the run (scenario name, seed, intervals; never a wall-clock value);
+* ``{"record": "span", "id", "parent", "name", "start", "end", "cost",
+  "attrs"}`` — one per finished span, in completion order;
+* ``{"record": "metric", "type", "name", "labels", ...}`` — one per
+  instrument, sorted by name + labels; histograms additionally carry
+  ``bounds``/``bucket_counts``/``count``/``sum``/``min``/``max``.
+
+Keys are sorted and separators fixed, so two identically-seeded runs
+produce **byte-identical** files — the determinism regression suite hashes
+exactly this output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "telemetry_records",
+    "telemetry_lines",
+    "write_telemetry",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _clean(value):
+    """Restrict attribute values to JSON scalars (stringify the rest)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_clean(item) for item in value]
+    return str(value)
+
+
+def telemetry_records(observability, meta: dict | None = None) -> list[dict]:
+    """Everything one run produced, as JSON-ready dicts."""
+    records: list[dict] = [
+        {"record": "meta", "version": SCHEMA_VERSION, **(meta or {})}
+    ]
+    for span in observability.tracer.finished_spans():
+        records.append(
+            {
+                "record": "span",
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "start": span.start,
+                "end": span.end,
+                "cost": span.cost,
+                "attrs": {key: _clean(v) for key, v in sorted(span.attrs.items())},
+            }
+        )
+    for snapshot in observability.registry.snapshot():
+        records.append({"record": "metric", **snapshot})
+    return records
+
+
+def telemetry_lines(observability, meta: dict | None = None) -> list[str]:
+    """The JSONL lines (no trailing newlines), deterministically ordered."""
+    return [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in telemetry_records(observability, meta)
+    ]
+
+
+def write_telemetry(
+    path: str | Path, observability, meta: dict | None = None
+) -> Path:
+    """Write one run's telemetry as JSONL; returns the path."""
+    path = Path(path)
+    lines = telemetry_lines(observability, meta)
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,201 @@
+"""Summarise exported telemetry: the ``repro obs report`` backend.
+
+Parses the JSONL produced by :mod:`repro.obs.export` (or consumes a live
+:class:`~repro.obs.provider.Observability`) and renders the three views an
+operator of the retuning pipeline wants first:
+
+* **per-stage span profile** — calls, simulated time and deterministic work
+  units per pipeline stage, ranked by work;
+* **MRC recomputations per application** — the paper's expensive step, and
+  the laziness the design is protecting;
+* **action-kind histogram** — what the controller actually decided.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from ..analysis.report import Table
+
+__all__ = ["StageProfile", "TelemetrySummary", "summarize_telemetry"]
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Aggregate of every span sharing one stage name."""
+
+    name: str
+    calls: int
+    sim_seconds: float
+    work_units: float
+
+    @property
+    def mean_work(self) -> float:
+        return self.work_units / self.calls if self.calls else 0.0
+
+
+@dataclass
+class TelemetrySummary:
+    """Parsed telemetry, queryable and renderable."""
+
+    meta: dict = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
+    metrics: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "TelemetrySummary":
+        summary = cls()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("record")
+            if kind == "meta":
+                summary.meta = record
+            elif kind == "span":
+                summary.spans.append(record)
+            elif kind == "metric":
+                summary.metrics.append(record)
+            else:
+                raise ValueError(f"unknown telemetry record type: {kind!r}")
+        return summary
+
+    @classmethod
+    def from_observability(
+        cls, observability, meta: dict | None = None
+    ) -> "TelemetrySummary":
+        from .export import telemetry_lines
+
+        return cls.from_lines(telemetry_lines(observability, meta))
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    def stage_profiles(self) -> list[StageProfile]:
+        """Per-stage aggregates, heaviest (by work, then time) first."""
+        grouped: dict[str, list[dict]] = {}
+        for span in self.spans:
+            grouped.setdefault(span["name"], []).append(span)
+        profiles = [
+            StageProfile(
+                name=name,
+                calls=len(spans),
+                sim_seconds=sum(s["end"] - s["start"] for s in spans),
+                work_units=sum(s["cost"] for s in spans),
+            )
+            for name, spans in grouped.items()
+        ]
+        profiles.sort(
+            key=lambda p: (-p.work_units, -p.sim_seconds, p.name)
+        )
+        return profiles
+
+    def _counter_values(self, name: str) -> list[tuple[dict, float]]:
+        return [
+            (record["labels"], record["value"])
+            for record in self.metrics
+            if record["type"] == "counter" and record["name"] == name
+        ]
+
+    def mrc_recomputations_by_app(self) -> dict[str, float]:
+        """Per-application count of the pipeline's expensive step."""
+        counts: dict[str, float] = {}
+        for labels, value in self._counter_values("mrc.recomputations"):
+            app = labels.get("app", "?")
+            counts[app] = counts.get(app, 0.0) + value
+        return counts
+
+    def action_histogram(self) -> dict[str, float]:
+        """Emitted controller actions, keyed by :class:`ActionKind` value."""
+        counts: dict[str, float] = {}
+        for labels, value in self._counter_values("controller.actions"):
+            kind = labels.get("kind", "?")
+            counts[kind] = counts.get(kind, 0.0) + value
+        return counts
+
+    def sla_violations_by_app(self) -> dict[str, float]:
+        counts: dict[str, float] = {}
+        for labels, value in self._counter_values("scheduler.sla_violations"):
+            app = labels.get("app", "?")
+            counts[app] = counts.get(app, 0.0) + value
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Rendering                                                          #
+    # ------------------------------------------------------------------ #
+
+    def render(self) -> str:
+        sections = [self._render_meta(), self._render_stages(),
+                    self._render_mrc(), self._render_actions()]
+        return "\n\n".join(section for section in sections if section)
+
+    def _render_meta(self) -> str:
+        parts = [
+            f"{key}={value}"
+            for key, value in sorted(self.meta.items())
+            if key not in ("record", "version")
+        ]
+        header = "Telemetry report"
+        if parts:
+            header += " — " + ", ".join(parts)
+        spans = len(self.spans)
+        metrics = len(self.metrics)
+        return f"{header}\n({spans} spans, {metrics} metric series)"
+
+    def _render_stages(self) -> str:
+        table = Table(
+            title="Pipeline stages (top spans by work)",
+            headers=["stage", "calls", "sim time (s)", "work units",
+                     "work/call"],
+        )
+        for profile in self.stage_profiles():
+            table.add_row(
+                profile.name,
+                profile.calls,
+                f"{profile.sim_seconds:.1f}",
+                f"{profile.work_units:.0f}",
+                f"{profile.mean_work:.1f}",
+            )
+        if not self.spans:
+            table.add_row("(no spans recorded)", "-", "-", "-", "-")
+        return table.render()
+
+    def _render_mrc(self) -> str:
+        table = Table(
+            title="MRC recomputations per application",
+            headers=["app", "recomputations"],
+        )
+        counts = self.mrc_recomputations_by_app()
+        for app in sorted(counts):
+            table.add_row(app, f"{counts[app]:.0f}")
+        if not counts:
+            table.add_row("(none)", "0")
+        return table.render()
+
+    def _render_actions(self) -> str:
+        table = Table(
+            title="Controller actions by kind",
+            headers=["action kind", "count"],
+        )
+        counts = self.action_histogram()
+        for kind in sorted(counts):
+            table.add_row(kind, f"{counts[kind]:.0f}")
+        if not counts:
+            table.add_row("(no actions emitted)", "0")
+        violations = self.sla_violations_by_app()
+        rendered = table.render()
+        if violations:
+            noted = ", ".join(
+                f"{app}: {count:.0f}" for app, count in sorted(violations.items())
+            )
+            rendered += f"\n\nSLA violations per app: {noted}"
+        return rendered
+
+
+def summarize_telemetry(lines: Iterable[str]) -> TelemetrySummary:
+    """Parse JSONL telemetry lines into a queryable summary."""
+    return TelemetrySummary.from_lines(lines)

@@ -1,0 +1,97 @@
+"""Property-based tests for the observability layer's histograms.
+
+The merge algebra is what makes sharded registries trustworthy: combining
+per-replica histograms must never lose observations, and must not care
+about grouping or order.  Quantile estimates must behave like quantiles:
+monotone in ``q`` and confined to the observed range.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import DEFAULT_BUCKETS, Histogram
+
+values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(values, min_size=0, max_size=120)
+
+bucket_bounds = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=12, unique=True,
+).map(lambda bounds: tuple(sorted(bounds)))
+
+
+def build(observations, bounds=DEFAULT_BUCKETS) -> Histogram:
+    hist = Histogram("h", bounds=bounds)
+    hist.observe_many(observations)
+    return hist
+
+
+def integer_state(hist: Histogram):
+    """The exactly-comparable part of a histogram (no float summation)."""
+    return (hist.bucket_counts, hist.count, hist.min, hist.max)
+
+
+@given(left=samples, right=samples)
+@settings(max_examples=60, deadline=None)
+def test_merge_conserves_observations(left, right):
+    """No observation is lost or invented by a merge."""
+    merged = build(left).merge(build(right))
+    assert merged.count == len(left) + len(right)
+    assert sum(merged.bucket_counts) == len(left) + len(right)
+    assert integer_state(merged) == integer_state(build(left + right))
+
+
+@given(left=samples, right=samples)
+@settings(max_examples=60, deadline=None)
+def test_merge_commutative(left, right):
+    a, b = build(left), build(right)
+    forward, backward = a.merge(b), b.merge(a)
+    assert integer_state(forward) == integer_state(backward)
+    assert forward.sum == backward.sum  # float + is commutative
+
+
+@given(first=samples, second=samples, third=samples)
+@settings(max_examples=60, deadline=None)
+def test_merge_associative_on_integer_state(first, second, third):
+    a, b, c = build(first), build(second), build(third)
+    left_first = a.merge(b).merge(c)
+    right_first = a.merge(b.merge(c))
+    assert integer_state(left_first) == integer_state(right_first)
+
+
+@given(observations=samples, bounds=bucket_bounds)
+@settings(max_examples=60, deadline=None)
+def test_every_observation_lands_in_exactly_one_bucket(observations, bounds):
+    hist = build(observations, bounds=bounds)
+    assert sum(hist.bucket_counts) == len(observations)
+    assert len(hist.bucket_counts) == len(bounds) + 1
+
+
+@given(observations=st.lists(values, min_size=1, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_quantiles_monotone_in_q(observations):
+    hist = build(observations)
+    qs = [i / 20 for i in range(21)]
+    estimates = [hist.quantile(q) for q in qs]
+    assert all(a <= b for a, b in zip(estimates, estimates[1:]))
+
+
+@given(observations=st.lists(values, min_size=1, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_quantiles_within_observed_range(observations):
+    hist = build(observations)
+    for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+        assert min(observations) <= hist.quantile(q) <= max(observations)
+
+
+@given(observations=samples, splits=st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_sharded_build_equals_single_build(observations, splits):
+    """Splitting a stream across shards and merging changes nothing."""
+    shards = [build(observations[i::splits]) for i in range(splits)]
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged = merged.merge(shard)
+    assert integer_state(merged) == integer_state(build(observations))

@@ -198,3 +198,42 @@ class TestReplayTrace:
         stats = replay_trace(pool, [1, 2, 1], classes=["a", "b", "a"])
         assert stats.class_hit_ratio("a") == pytest.approx(0.5)
         assert stats.class_hit_ratio("b") == 0.0
+
+
+class TestEvictionCounters:
+    def test_no_evictions_below_capacity(self):
+        pool = LRUBufferPool(4)
+        replay_trace(pool, [1, 2, 3])
+        assert pool.stats.evictions == 0
+        assert pool.total_evictions == 0
+
+    def test_every_overflow_admission_evicts_once(self):
+        pool = LRUBufferPool(2)
+        replay_trace(pool, [1, 2, 3, 4, 5])
+        # Pool holds 2 pages; admissions 3..5 each push one victim out.
+        assert pool.total_evictions == 3
+        assert len(pool) == 2
+
+    def test_prefetch_evictions_counted(self):
+        pool = LRUBufferPool(2)
+        pool.prefetch([1, 2, 3, 4])
+        assert pool.total_evictions == 2
+
+    def test_record_eviction_and_reset(self):
+        stats = PoolStats()
+        stats.record_eviction()
+        stats.record_eviction(2)
+        assert stats.evictions == 3
+        stats.reset()
+        assert stats.evictions == 0
+
+    def test_partitioned_pool_sums_partition_evictions(self):
+        pool = PartitionedBufferPool(6, quotas={"scan": 2})
+        pool.assign("scan-class", "scan")
+        # The scan partition holds 2 pages: the third access evicts one.
+        for page in (100, 101, 102):
+            pool.access(page, "scan-class")
+        # The 4-page default partition sees five distinct pages: one eviction.
+        for page in (1, 2, 3, 4, 5):
+            pool.access(page, "other")
+        assert pool.total_evictions == 2

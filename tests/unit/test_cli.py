@@ -56,3 +56,51 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "Lock contention" in out
         assert "baseline" in out
+
+
+class TestObsCommand:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_report_parses_with_defaults(self):
+        args = build_parser().parse_args(["obs", "report"])
+        assert args.command == "obs"
+        assert args.obs_command == "report"
+        assert args.scenario == "index-drop"
+        assert args.export is None
+        assert args.input is None
+
+    def test_report_options_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["obs", "report", "--scenario", "quickstart",
+             "--clients", "5", "--intervals", "2",
+             "--export", str(tmp_path / "t.jsonl")]
+        )
+        assert args.scenario == "quickstart"
+        assert args.clients == 5
+        assert args.intervals == 2
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "report", "--scenario", "nope"])
+
+    def test_report_runs_and_prints_sections(self, capsys):
+        assert main(["obs", "report", "--scenario", "quickstart",
+                     "--intervals", "2", "--clients", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline stages (top spans by work)" in out
+        assert "MRC recomputations per application" in out
+        assert "Controller actions by kind" in out
+
+    def test_report_export_then_input_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        assert main(["obs", "report", "--scenario", "quickstart",
+                     "--intervals", "2", "--clients", "5",
+                     "--export", str(path)]) == 0
+        live = capsys.readouterr().out
+        assert path.exists()
+        assert main(["obs", "report", "--input", str(path)]) == 0
+        replayed = capsys.readouterr().out
+        # Summarising the exported file reproduces the live report.
+        assert replayed.strip() in live

@@ -242,3 +242,72 @@ class TestMRCTracker:
         tracker.compute("b", [1])
         tracker.compute("a", [1])
         assert tracker.contexts() == ["a", "b"]
+
+
+class TestNoReuseEdgeCase:
+    """All-cold traces (``max_depth == 0``) — the curve has no shape.
+
+    A trace that never revisits a page yields zero warm hits: no amount of
+    memory helps, so every size is equivalent and the MRC parameters
+    collapse to the documented convention of one page.
+    """
+
+    def test_all_cold_trace_has_no_depth(self):
+        curve = MissRatioCurve.from_trace([1, 2, 3, 4])
+        assert curve.max_depth == 0
+        assert curve.minimum_miss_ratio == 1.0
+
+    def test_smallest_size_clamps_to_one_page(self):
+        curve = MissRatioCurve.from_trace([1, 2, 3, 4])
+        for target in (0.0, 0.5, 1.0, 2.0):
+            assert curve._smallest_size_with_ratio(target) == 1
+
+    def test_parameters_collapse_to_one_page(self):
+        params = MissRatioCurve.from_trace([1, 2, 3, 4]).parameters(8192)
+        assert params.total_memory == 1
+        assert params.ideal_miss_ratio == 1.0
+        assert params.acceptable_memory == 1
+        assert params.acceptable_miss_ratio == 1.0
+
+    def test_empty_trace_parameters(self):
+        params = MissRatioCurve.from_trace([]).parameters(8192)
+        assert params.total_memory == 1
+        assert params.ideal_miss_ratio == 0.0  # no accesses, no misses
+        assert params.acceptable_memory == 1
+
+    def test_single_access_trace(self):
+        params = MissRatioCurve.from_trace([42]).parameters(8192)
+        assert params.total_memory == 1
+        assert params.ideal_miss_ratio == 1.0
+
+
+class TestTrackerTelemetry:
+    def test_compute_publishes_counter_and_histogram(self):
+        from repro.obs import MetricRegistry
+
+        registry = MetricRegistry()
+        tracker = MRCTracker(server_memory_pages=100, registry=registry)
+        tracker.compute("tpcw/q1", [1, 2, 1, 2])
+        tracker.compute("tpcw/q2", [1, 2, 3])
+        tracker.compute("rubis/q1", [5, 5])
+        assert registry.value("mrc.recomputations", app="tpcw") == 2.0
+        assert registry.value("mrc.recomputations", app="rubis") == 1.0
+        hist = registry.histogram("mrc.trace_length")
+        assert hist.count == 3
+        assert hist.sum == 4 + 3 + 2
+
+    def test_store_counts_as_recomputation(self):
+        from repro.obs import MetricRegistry
+
+        registry = MetricRegistry()
+        tracker = MRCTracker(server_memory_pages=100, registry=registry)
+        curve = MissRatioCurve.from_trace([1, 1, 2])
+        tracker.store("tpcw/q1", curve, curve.parameters(100))
+        assert registry.value("mrc.recomputations", app="tpcw") == 1.0
+        assert tracker.recomputations == 1
+
+    def test_default_registry_records_nothing(self):
+        tracker = MRCTracker(server_memory_pages=100)
+        tracker.compute("tpcw/q1", [1, 2, 1])
+        assert tracker.registry.snapshot() == []
+        assert tracker.recomputations == 1

@@ -1,0 +1,127 @@
+"""Unit tests for telemetry JSONL export and the report backend."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability, telemetry_lines, write_telemetry
+from repro.obs.report import TelemetrySummary, summarize_telemetry
+from repro.sim.clock import SimClock
+
+
+def instrumented_run() -> Observability:
+    """A tiny hand-driven pipeline producing every record type."""
+    clock = SimClock()
+    obs = Observability(clock=clock)
+    tracer, registry = obs.tracer, obs.registry
+    with tracer.span("controller.interval", attrs={"interval": 0}):
+        with tracer.span("mrc.recompute", attrs={"context": "tpcw/q1"}) as span:
+            span.add_cost(100)
+        clock.advance(10.0)
+    registry.counter("mrc.recomputations", app="tpcw").inc(2)
+    registry.counter("controller.actions", app="tpcw", kind="apply_quotas").inc()
+    registry.counter("scheduler.sla_violations", app="tpcw").inc(3)
+    registry.gauge("bufferpool.resident_pages", engine="e1").set(512)
+    registry.histogram("scheduler.interval_latency").observe(0.25)
+    return obs
+
+
+class TestExport:
+    def test_record_layout(self):
+        lines = telemetry_lines(instrumented_run(), meta={"scenario": "unit"})
+        records = [json.loads(line) for line in lines]
+        kinds = [record["record"] for record in records]
+        assert kinds[0] == "meta"
+        assert kinds.count("span") == 2
+        assert kinds.count("metric") == 5
+        meta = records[0]
+        assert meta["version"] == 1
+        assert meta["scenario"] == "unit"
+
+    def test_spans_in_completion_order_with_parents(self):
+        records = [
+            json.loads(line) for line in telemetry_lines(instrumented_run())
+        ]
+        spans = [r for r in records if r["record"] == "span"]
+        assert [s["name"] for s in spans] == [
+            "mrc.recompute", "controller.interval",
+        ]
+        interval = spans[1]
+        recompute = spans[0]
+        assert recompute["parent"] == interval["id"]
+        assert recompute["cost"] == 100
+        assert interval["end"] - interval["start"] == 10.0
+
+    def test_lines_are_compact_sorted_json(self):
+        for line in telemetry_lines(instrumented_run()):
+            record = json.loads(line)
+            assert line == json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            )
+            assert ": " not in line
+
+    def test_non_scalar_attrs_stringified(self):
+        obs = Observability()
+        with obs.tracer.span("s") as span:
+            span.set_attr("kinds", ["a", "b"])
+            span.set_attr("object", SimClock())
+        (record,) = [
+            json.loads(line)
+            for line in telemetry_lines(obs)
+            if json.loads(line)["record"] == "span"
+        ]
+        assert record["attrs"]["kinds"] == ["a", "b"]
+        assert isinstance(record["attrs"]["object"], str)
+
+    def test_write_telemetry_round_trips(self, tmp_path):
+        obs = instrumented_run()
+        path = write_telemetry(tmp_path / "t.jsonl", obs, meta={"seed": 7})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.splitlines() == telemetry_lines(obs, meta={"seed": 7})
+
+
+class TestSummary:
+    def test_from_lines_round_trip(self):
+        obs = instrumented_run()
+        summary = summarize_telemetry(telemetry_lines(obs, meta={"seed": 7}))
+        assert summary.meta["seed"] == 7
+        assert len(summary.spans) == 2
+        assert len(summary.metrics) == 5
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetrySummary.from_lines(['{"record":"mystery"}'])
+
+    def test_stage_profiles_ranked_by_work(self):
+        summary = TelemetrySummary.from_observability(instrumented_run())
+        profiles = summary.stage_profiles()
+        assert [p.name for p in profiles] == [
+            "mrc.recompute", "controller.interval",
+        ]
+        recompute = profiles[0]
+        assert recompute.calls == 1
+        assert recompute.work_units == 100
+        assert recompute.mean_work == 100
+
+    def test_queries(self):
+        summary = TelemetrySummary.from_observability(instrumented_run())
+        assert summary.mrc_recomputations_by_app() == {"tpcw": 2.0}
+        assert summary.action_histogram() == {"apply_quotas": 1.0}
+        assert summary.sla_violations_by_app() == {"tpcw": 3.0}
+
+    def test_render_contains_required_sections(self):
+        summary = TelemetrySummary.from_observability(
+            instrumented_run(), meta={"scenario": "unit"}
+        )
+        text = summary.render()
+        assert "Pipeline stages (top spans by work)" in text
+        assert "MRC recomputations per application" in text
+        assert "Controller actions by kind" in text
+        assert "apply_quotas" in text
+        assert "SLA violations per app: tpcw: 3" in text
+
+    def test_render_empty_telemetry(self):
+        text = TelemetrySummary().render()
+        assert "(no spans recorded)" in text
+        assert "(no actions emitted)" in text
