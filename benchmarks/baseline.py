@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Benchmark baseline harness — record and check ``BENCH_<name>.json``.
+
+Thin entry point over :mod:`repro.experiments.bench`; the same driver backs
+``repro bench``.  Typical flows (run from the repo root with
+``PYTHONPATH=src``):
+
+Refresh the committed baselines after an intentional behaviour change::
+
+    PYTHONPATH=src python benchmarks/baseline.py --write-baselines
+
+Check this machine's run against the committed baselines (exits non-zero
+only on artefact drift; timing drift outside the tolerance band warns)::
+
+    PYTHONPATH=src python benchmarks/baseline.py --check --parallel 4
+
+Fold wall-clock means from a ``pytest --benchmark-json=out.json`` run of
+the benchmarks suite into the committed baselines' ``timing`` blocks::
+
+    PYTHONPATH=src python benchmarks/baseline.py --merge-timings out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.bench import (  # noqa: E402
+    add_bench_arguments,
+    merge_pytest_benchmark_timings,
+    run_bench_command,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks/baseline.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_bench_arguments(parser)
+    parser.add_argument(
+        "--merge-timings",
+        type=str,
+        default=None,
+        metavar="JSON",
+        help="fold a pytest-benchmark JSON report's mean timings into the "
+        "committed baselines, then exit",
+    )
+    args = parser.parse_args(argv)
+    if args.merge_timings:
+        updated = merge_pytest_benchmark_timings(
+            args.merge_timings, args.baseline_dir
+        )
+        for name in updated:
+            print(f"timing updated: BENCH_{name}.json")
+        if not updated:
+            print("no benchmark timings matched a committed baseline")
+        return 0
+    return run_bench_command(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,19 +8,47 @@ deterministic end-to-end simulations, so each runs exactly once
 regenerating the artefact.
 """
 
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import ParamSpec, TypeVar
+
 import pytest
+
+P = ParamSpec("P")
+T = TypeVar("T")
+
+_VERBOSITY = 0
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    global _VERBOSITY
+    _VERBOSITY = config.get_verbosity()
 
 
 @pytest.fixture
-def once(benchmark):
-    """Run a scenario exactly once under the benchmark timer."""
+def once(benchmark) -> Callable[..., object]:
+    """Run a scenario exactly once under the benchmark timer.
 
-    def runner(fn, *args, **kwargs):
+    The returned runner preserves the scenario's return type, so
+    ``result = once(run_index_drop, config)`` keeps ``result`` typed as an
+    ``IndexDropResult`` rather than decaying to ``Any``.
+    """
+
+    def runner(fn: Callable[P, T], *args: P.args, **kwargs: P.kwargs) -> T:
         return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return runner
 
 
 def print_artifact(title: str, body: str) -> None:
+    """Print a reproduced artefact — unless the run asked for quiet.
+
+    Under ``-q`` (verbosity below zero) the tables are noise drowning the
+    benchmark summary, so this becomes a no-op; the default and ``-v``
+    modes keep the paper-side-by-side output.
+    """
+    if _VERBOSITY < 0:
+        return
     print(f"\n===== {title} =====")
     print(body)

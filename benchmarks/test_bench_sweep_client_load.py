@@ -4,40 +4,22 @@ Figure 4's violation is load-dependent: the degraded BestSeller plan always
 gets slower, but the *application-level* SLA only breaks once the extra
 read-ahead I/O meets enough concurrent traffic.  This sweep runs the
 scenario across client populations and locates the crossover.
+
+The sweep itself lives in :mod:`repro.experiments.sweeps`, where each
+point is an independent :class:`~repro.experiments.parallel.SweepTask` —
+``run_client_load_sweep(workers=N)`` shards the points across a process
+pool with byte-identical results (pinned by
+``tests/integration/test_parallel_equivalence.py``).
 """
 
 from conftest import print_artifact
 
 from repro.analysis.report import Table
-from repro.experiments.index_drop import IndexDropConfig, run_index_drop
-
-CLIENT_LOADS = (20, 40, 60, 80)
+from repro.experiments.sweeps import CLIENT_LOADS, run_client_load_sweep
 
 
 def test_sweep_client_load(once):
-    def sweep():
-        rows = []
-        for clients in CLIENT_LOADS:
-            result = run_index_drop(
-                IndexDropConfig(
-                    clients=clients,
-                    warmup_intervals=10,
-                    violation_intervals=5,
-                    recovery_intervals=4,
-                )
-            )
-            rows.append(
-                (
-                    clients,
-                    result.latency_before,
-                    result.latency_violation,
-                    result.latency_after,
-                    bool(result.latency_violation > 1.0),
-                )
-            )
-        return rows
-
-    rows = once(sweep)
+    rows = once(run_client_load_sweep)
 
     table = Table(
         title="index-drop severity vs client load (SLA = 1 s)",
@@ -59,6 +41,7 @@ def test_sweep_client_load(once):
         )
     print_artifact("Sweep — client load vs index-drop severity", table.render())
 
+    assert [clients for clients, *_ in rows] == list(CLIENT_LOADS)
     # Shape: baselines always meet the SLA; the incident appears somewhere
     # in the sweep and holds at the paper-equivalent operating point (60).
     assert all(before < 1.0 for _, before, _, _, _ in rows)

@@ -5,55 +5,20 @@ TPC-W in a shared 8192-page buffer pool") is a function of the pool size.
 This sweep runs the paper's quota feasibility check at a range of pool
 sizes and finds the crossover: below it the class must be rescheduled,
 above it a quota keeps everything co-located.
-"""
 
-import numpy as np
+The sweep lives in :mod:`repro.experiments.sweeps`: the curves are built
+once, then every pool size is an independent sweep point that
+``run_pool_size_sweep(workers=N)`` can shard across a process pool.
+"""
 
 from conftest import print_artifact
 
 from repro.analysis.report import Table
-from repro.core.mrc import MissRatioCurve
-from repro.core.quota import find_quotas
-from repro.experiments.mrc_curves import trace_of_class
-from repro.workloads.rubis import SEARCH_ITEMS_BY_REGION, build_rubis
-from repro.workloads.tpcw import build_tpcw
-
-POOL_SIZES = (4096, 8192, 12288, 16384, 24576, 32768)
+from repro.experiments.sweeps import POOL_SIZES, run_pool_size_sweep
 
 
 def test_sweep_pool_size(once):
-    def sweep():
-        tpcw = build_tpcw(seed=7)
-        rubis = build_rubis(seed=11)
-        sibr_trace = trace_of_class(
-            rubis.class_named(SEARCH_ITEMS_BY_REGION), executions=150
-        )
-        sibr_curve = MissRatioCurve.from_trace(sibr_trace)
-        tpcw_curves = {}
-        for query_class in tpcw.classes():
-            executions = 250 if query_class.name != "best_seller" else 120
-            trace = trace_of_class(query_class, executions=executions)
-            tpcw_curves[query_class.name] = MissRatioCurve.from_trace(trace)
-        rows = []
-        for pool in POOL_SIZES:
-            problem = {"sibr": sibr_curve.parameters(pool)}
-            others = {
-                name: curve.parameters(pool)
-                for name, curve in tpcw_curves.items()
-            }
-            plan = find_quotas(problem, others, pool, min_quota=256)
-            rows.append(
-                (
-                    pool,
-                    problem["sibr"].acceptable_memory,
-                    sum(p.acceptable_memory for p in others.values()),
-                    plan.feasible,
-                    plan.quotas.get("sibr", 0),
-                )
-            )
-        return rows
-
-    rows = once(sweep)
+    rows = once(run_pool_size_sweep)
 
     table = Table(
         title="quota feasibility of co-locating SearchItemsByRegion with TPC-W",
@@ -69,6 +34,7 @@ def test_sweep_pool_size(once):
         table.add_row(pool, sibr_acc, others_acc, feasible, quota)
     print_artifact("Sweep — pool size vs co-location feasibility", table.render())
 
+    assert [pool for pool, *_ in rows] == list(POOL_SIZES)
     by_pool = {pool: feasible for pool, _, _, feasible, _ in rows}
     # The paper's operating point: infeasible at 8192 pages...
     assert not by_pool[8192]

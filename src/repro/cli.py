@@ -9,6 +9,7 @@ Usage::
     python -m repro table1 | table2 | table3
     python -m repro locks                # the future-work lock scenario
     python -m repro obs report           # telemetry summary of the quickstart
+    python -m repro bench --parallel 4   # benchmark scenarios, sharded
     python -m repro all                  # everything, in order
 
 Each command runs the corresponding deterministic experiment and prints
@@ -229,6 +230,18 @@ def _obs(args) -> int:
     return 0
 
 
+def _bench(args) -> int:
+    """``repro bench`` — run the benchmark scenario registry.
+
+    ``--parallel N`` shards the scenarios across N worker processes;
+    artefacts are byte-identical to a serial run (every scenario seeds its
+    own RNGs), only the wall clock changes.
+    """
+    from .experiments.bench import run_bench_command
+
+    return run_bench_command(args)
+
+
 def _list(args) -> int:
     print("Reproducible artefacts:")
     for name, help_text in sorted(_COMMANDS.items()):
@@ -256,6 +269,7 @@ _COMMANDS = {
     "table3": (_table3, "Xen dom0 I/O contention (two RUBiS domains)"),
     "locks": (_locks, "lock-contention anomaly (the paper's future work)"),
     "obs": (_obs, "telemetry: span timings, recomputations, actions"),
+    "bench": (_bench, "benchmark scenarios: run, time, check baselines"),
     "all": (_all, "run every artefact in order"),
 }
 
@@ -291,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
             report.add_argument("--input", type=str, default=None,
                                 help="summarise an existing telemetry JSONL "
                                      "instead of running the scenario")
+            continue
+        if name == "bench":
+            from .experiments.bench import add_bench_arguments
+
+            bench = subparsers.add_parser(name, help=help_text)
+            add_bench_arguments(bench)
             continue
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--clients", type=int, default=None,

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from ..engine.engine import DatabaseEngine
 from ..obs import NULL_OBS, Observability
 from .metrics import MetricVector, vector_from_stats
-from .mrc import MissRatioCurve, MRCParameters, MRCTracker
+from .mrc import MissRatioCurve, MRCCache, MRCCacheKey, MRCParameters, MRCTracker
+from .mrc_sampling import sampled_mrc
 from .outliers import OutlierReport, detect_outliers, top_k_heavyweight
 from .signature import SignatureStore
 
@@ -45,14 +46,24 @@ class LogAnalyzer:
         engine: DatabaseEngine,
         server_name: str,
         obs: Observability | None = None,
+        mrc_sampling_rate: float = 1.0,
     ) -> None:
+        if not 0.0 < mrc_sampling_rate <= 1.0:
+            raise ValueError(
+                f"MRC sampling rate must be in (0, 1]: {mrc_sampling_rate}"
+            )
         self.engine = engine
         self.server_name = server_name
         self.obs = obs if obs is not None else NULL_OBS
+        self.mrc_sampling_rate = mrc_sampling_rate
         self.signatures = SignatureStore(server=server_name)
         self.mrc = MRCTracker(
             server_memory_pages=engine.pool_pages, registry=self.obs.registry
         )
+        # Memo of the last stack-distance analysis per class, keyed by the
+        # access window's total_seen watermark and the pool size; serves the
+        # previous curve for free when nothing changed in between.
+        self.mrc_cache = MRCCache(registry=self.obs.registry)
         self._last_vectors: dict[str, MetricVector] = {}
         self._mrc_window_len: dict[str, int] = {}
         self._intervals_closed = 0
@@ -237,6 +248,29 @@ class LogAnalyzer:
             return self.mrc.parameters_of(context_key)
         return self.recompute_mrc(context_key)
 
+    def _build_curve(self, trace, span) -> tuple[MissRatioCurve, MRCParameters]:
+        """One stack-distance analysis, exact or SHARDS-sampled.
+
+        The span records the exact-vs-sampled work units: ``exact_units``
+        is what a full analysis would have processed, ``cost`` (and
+        ``sampled_units``) is what this one actually did.
+        """
+        rate = self.mrc_sampling_rate
+        span.set_attr("exact_units", len(trace))
+        if rate < 1.0:
+            curve, stats = sampled_mrc(trace, rate=rate)
+            span.set_attr("mode", "sampled")
+            span.set_attr("sampled_units", stats.sampled_length)
+            span.add_cost(stats.sampled_length)
+        else:
+            curve = MissRatioCurve.from_trace(trace)
+            span.set_attr("mode", "exact")
+            span.add_cost(len(trace))
+        params = curve.parameters(
+            self.mrc.server_memory_pages, self.mrc.acceptable_threshold
+        )
+        return curve, params
+
     def recompute_mrc(
         self, context_key: str, recent_only: bool = False, min_tail: int = 2000
     ) -> MRCParameters | None:
@@ -247,29 +281,48 @@ class LogAnalyzer:
         this so a curve recomputed *after* a behaviour change (index drop, a
         new workload) reflects the changed plan rather than a blend of old
         and new history.
+
+        The analysis itself goes through the per-class :class:`MRCCache`:
+        if the window has not advanced (and the pool was not resized) since
+        the last recomputation of the same slice, the previous curve is
+        served without any stack-distance work — and without incrementing
+        the ``mrc.recomputations`` counter.
         """
         if not self.engine.log.has_window(context_key):
             return None
         window = self.engine.log.window_for(context_key)
         trace = window.snapshot()
+        variant = "full"
         if recent_only:
             marks = self._seen_marks.get(context_key)
+            # marks[-1] is the watermark at the close of the interval
+            # being diagnosed, so marks[-2] bounds exactly that
+            # interval's accesses — the post-change behaviour.
+            base = marks[-2] if marks and len(marks) >= 2 else 0
+            variant = f"recent:{min_tail}:{base}"
             if marks:
-                # marks[-1] is the watermark at the close of the interval
-                # being diagnosed, so marks[-2] bounds exactly that
-                # interval's accesses — the post-change behaviour.
-                base = marks[-2] if len(marks) >= 2 else 0
                 tail = window.total_seen - base
                 tail = max(min(tail, len(trace)), min(min_tail, len(trace)))
                 trace = trace[-tail:]
         if len(trace) > MAX_MRC_TRACE:
             trace = trace[-MAX_MRC_TRACE:]
-        with self.obs.tracer.span(
-            "mrc.recompute",
-            attrs={"context": context_key, "recent_only": recent_only},
-        ) as span:
-            span.add_cost(len(trace))
-            params = self.mrc.compute(context_key, trace)
+        cache_key = MRCCacheKey(
+            window_version=window.total_seen,
+            pool_pages=self.engine.pool_pages,
+            variant=variant,
+        )
+        cached = self.mrc_cache.get(context_key, cache_key)
+        if cached is not None:
+            curve, params = cached
+            self.mrc.restore(context_key, curve, params)
+        else:
+            with self.obs.tracer.span(
+                "mrc.recompute",
+                attrs={"context": context_key, "recent_only": recent_only},
+            ) as span:
+                curve, params = self._build_curve(trace, span)
+                self.mrc.store(context_key, curve, params)
+            self.mrc_cache.put(context_key, cache_key, (curve, params))
         self.signatures.set_mrc(context_key, params)
         self._mrc_window_len[context_key] = len(window)
         return params
@@ -301,7 +354,10 @@ class LogAnalyzer:
         * ``"changed"`` / ``"unchanged"`` — the significance verdict.
 
         Whenever a recent curve is computed it is stored as the context's
-        current MRC record (the paper's recomputation step).
+        current MRC record (the paper's recomputation step).  Both curves
+        go through the :class:`MRCCache`: re-assessing a class whose window
+        has not advanced serves the previous pair without any new
+        stack-distance work.
         """
         if not self.engine.log.has_window(context_key):
             return ("no-window", None)
@@ -321,24 +377,43 @@ class LogAnalyzer:
         # the recent tail may already exhibit the new behaviour.  The oldest
         # resident history is the best stable-era evidence available.
         before = trace[: min(tail, len(trace) - tail)]
-        with self.obs.tracer.span(
-            "mrc.recompute", attrs={"context": context_key, "assess": True}
-        ) as span:
-            span.add_cost(len(recent))
-            recent_curve = MissRatioCurve.from_trace(recent)
-            recent_params = recent_curve.parameters(self.mrc.server_memory_pages)
-            self.mrc.store(context_key, recent_curve, recent_params)
+        # is_new participates in the key: an established class needs the
+        # "before" curve the new-class assessment never computed.
+        cache_key = MRCCacheKey(
+            window_version=window.total_seen,
+            pool_pages=self.engine.pool_pages,
+            variant=f"assess:{min_tail}:{base}:{int(is_new)}",
+        )
+        cached = self.mrc_cache.get(context_key, cache_key)
+        if cached is not None:
+            recent_curve, recent_params, before_params = cached
+            self.mrc.restore(context_key, recent_curve, recent_params)
+        else:
+            with self.obs.tracer.span(
+                "mrc.recompute", attrs={"context": context_key, "assess": True}
+            ) as span:
+                recent_curve, recent_params = self._build_curve(recent, span)
+                self.mrc.store(context_key, recent_curve, recent_params)
+            before_params = None
+            if not is_new and len(before) >= min(min_tail, tail) // 2:
+                with self.obs.tracer.span(
+                    "mrc.recompute",
+                    attrs={"context": context_key, "assess": True,
+                           "slice": "before"},
+                ) as span:
+                    _, before_params = self._build_curve(before, span)
+            self.mrc_cache.put(
+                context_key, cache_key,
+                (recent_curve, recent_params, before_params),
+            )
         self.signatures.set_mrc(context_key, recent_params)
         self._mrc_window_len[context_key] = len(window)
         if is_new:
             return ("new", recent_params)
-        if len(before) < min(min_tail, tail) // 2:
+        if before_params is None:
             # Not enough prior history for a like-for-like comparison; an
             # established class cannot be called changed on this evidence.
             return ("unchanged", recent_params)
-        before_params = MissRatioCurve.from_trace(before).parameters(
-            self.mrc.server_memory_pages
-        )
         changed = recent_params.significantly_differs_from(
             before_params, change_threshold
         )
@@ -352,6 +427,7 @@ class DecisionManager:
 
     server_name: str
     obs: Observability = NULL_OBS
+    mrc_sampling_rate: float = 1.0
 
     def __post_init__(self) -> None:
         self._analyzers: dict[str, LogAnalyzer] = {}
@@ -359,7 +435,12 @@ class DecisionManager:
     def attach_engine(self, engine: DatabaseEngine) -> LogAnalyzer:
         if engine.name in self._analyzers:
             return self._analyzers[engine.name]
-        analyzer = LogAnalyzer(engine, self.server_name, obs=self.obs)
+        analyzer = LogAnalyzer(
+            engine,
+            self.server_name,
+            obs=self.obs,
+            mrc_sampling_rate=self.mrc_sampling_rate,
+        )
         self._analyzers[engine.name] = analyzer
         return analyzer
 

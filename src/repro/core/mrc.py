@@ -39,6 +39,8 @@ __all__ = [
     "MissRatioCurve",
     "MRCParameters",
     "MRCTracker",
+    "MRCCacheKey",
+    "MRCCache",
 ]
 
 DEFAULT_ACCEPTABLE_THRESHOLD = 0.05
@@ -248,6 +250,80 @@ class MRCParameters:
         )
 
 
+@dataclass(frozen=True)
+class MRCCacheKey:
+    """What a cached curve is valid for.
+
+    * ``window_version`` — the access window's ``total_seen`` watermark (a
+      strictly increasing version number: any page access advances it, so
+      an advanced window can never serve a stale curve);
+    * ``pool_pages`` — the buffer-pool size the parameters were extracted
+      against (a resize changes the total/acceptable clamping, so the curve
+      must be re-derived);
+    * ``variant`` — which slice of the window was analysed (full window,
+      recent tail, assessment pair, ...), including anything else the slice
+      bounds depend on.
+    """
+
+    window_version: int
+    pool_pages: int
+    variant: str = "full"
+
+
+class MRCCache:
+    """Per-query-class memo of the most recent stack-distance analysis.
+
+    Stack-distance analysis is the O(N log N) hot path of diagnosis; when a
+    class's access window has not advanced since the last recomputation the
+    previous curve is *exactly* correct and the whole pass can be skipped.
+    Each class keeps one entry (the diagnosis loop only ever wants the
+    latest window), invalidated implicitly when the lookup key no longer
+    matches — window advance, buffer-pool resize, or a different slice
+    variant — and explicitly via :meth:`invalidate`.
+
+    Hits and misses are published to the metric registry as
+    ``mrc.cache.hits`` / ``mrc.cache.misses`` so regression tests can
+    assert that a stale curve is never served (a hit never increments the
+    ``mrc.recomputations`` counter).
+    """
+
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._entries: dict[str, tuple[MRCCacheKey, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, context_key: str, key: MRCCacheKey):
+        """The cached value if it is still valid for ``key``, else ``None``.
+
+        A mismatching entry (advanced window, resized pool) is dropped on
+        the spot: it can never become valid again.
+        """
+        entry = self._entries.get(context_key)
+        if entry is not None and entry[0] == key:
+            self.hits += 1
+            self.registry.counter("mrc.cache.hits").inc()
+            return entry[1]
+        if entry is not None:
+            del self._entries[context_key]
+        self.misses += 1
+        self.registry.counter("mrc.cache.misses").inc()
+        return None
+
+    def put(self, context_key: str, key: MRCCacheKey, value) -> None:
+        self._entries[context_key] = (key, value)
+
+    def invalidate(self, context_key: str) -> None:
+        """Explicitly drop one class's entry (e.g. its window was cleared)."""
+        self._entries.pop(context_key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 class MRCTracker:
     """Per-query-context MRC bookkeeping.
 
@@ -303,6 +379,18 @@ class MRCTracker:
         self._curves[context_key] = curve
         self._parameters[context_key] = params
         self._record_recomputation(context_key, curve.total_accesses)
+
+    def restore(
+        self, context_key: str, curve: MissRatioCurve, params: MRCParameters
+    ) -> None:
+        """Re-install a previously computed curve served from a cache.
+
+        Unlike :meth:`store` this does **not** count as a recomputation:
+        no stack-distance work happened, and the ``mrc.recomputations``
+        counter is the regression suite's evidence of exactly that.
+        """
+        self._curves[context_key] = curve
+        self._parameters[context_key] = params
 
     def parameters_of(self, context_key: str) -> MRCParameters:
         try:

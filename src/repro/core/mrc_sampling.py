@@ -15,7 +15,19 @@ while staying statistically faithful:
 
 The result is a regular :class:`~repro.core.mrc.MissRatioCurve`, so the
 parameter extraction (total/acceptable memory) and the rest of the pipeline
-work unchanged.  ``rate=1.0`` degenerates to the exact computation.
+work unchanged.  ``rate=1.0`` degenerates to the exact computation — not
+approximately: the sampler short-circuits and the curve is bitwise
+identical to :meth:`MissRatioCurve.from_trace`.
+
+**Error bound.** At real rates the extracted parameters (total memory,
+acceptable memory) stay within :data:`SAMPLING_ERROR_BOUND` (25%) of the
+exact values relative, with an absolute floor of ``64 / rate`` pages —
+distance rescaling quantises depths to multiples of ``1/rate``, so small
+footprints carry that granularity as irreducible noise.  The bound is
+pinned by ``tests/property/test_prop_sampled_mrc.py``; it is what makes a
+sampled curve safe to feed the diagnosis, whose own significance test
+(``MRCParameters.significantly_differs_from``) also works at the 25%
+level.
 """
 
 from __future__ import annotations
@@ -27,7 +39,12 @@ import numpy as np
 
 from .mrc import MissRatioCurve, stack_distances
 
-__all__ = ["SamplingStats", "sample_trace", "sampled_mrc"]
+__all__ = ["SAMPLING_ERROR_BOUND", "SamplingStats", "sample_trace", "sampled_mrc"]
+
+SAMPLING_ERROR_BOUND = 0.25
+"""Documented relative error on the extracted MRC parameters at real
+sampling rates (with a ``64 / rate``-page absolute floor); see the module
+docstring and ``tests/property/test_prop_sampled_mrc.py``."""
 
 _HASH_MODULUS = 1 << 24
 _HASH_MULTIPLIER = 0x9E3779B1  # Fibonacci hashing constant

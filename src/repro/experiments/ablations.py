@@ -15,6 +15,11 @@ decision of the selective-retuning pipeline and quantifies what it buys.
   expensive analysis).
 * **MRC window sensitivity**: how the degraded BestSeller's quota estimate
   varies with the recent-access window length.
+
+Every ablation compares *independent* simulation runs, so each driver
+accepts ``workers`` and shards its policy runs across a process pool via
+:mod:`repro.experiments.parallel`; results are merged in submission order,
+so a parallel run returns exactly what the serial run returns.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from ..core.mrc import MissRatioCurve
 from ..workloads.rubis import build_rubis
 from ..workloads.tpcw import BEST_SELLER, O_DATE_INDEX, build_tpcw
 from .index_drop import CPU_SCALE, EXPERIMENT_COST_MODEL, scale_cpu_costs
+from .parallel import SweepTask, run_sweep
 from .runner import ClusterHarness
 
 __all__ = [
@@ -109,7 +115,48 @@ def _run_index_drop_policy(policy: str, **kwargs) -> PolicyOutcome:
     )
 
 
-def run_quota_vs_reschedule() -> list[PolicyOutcome]:
+def _apply_quota(workload, harness):
+    from .buffer_partitioning import derive_quota, BufferPartitioningConfig
+
+    quota = derive_quota(BufferPartitioningConfig(seed=7))
+    replica = harness.replicas_of("tpcw")[0]
+    replica.engine.set_quota(f"tpcw/{BEST_SELLER}", quota)
+
+
+def _apply_reschedule(workload, harness):
+    scheduler = harness.scheduler("tpcw")
+    replica = harness.resource_manager.allocate_replica(
+        scheduler, harness.clock.now
+    )
+    harness.controller.track_replica(replica)
+    scheduler.move_class(f"tpcw/{BEST_SELLER}", replica.name)
+
+
+_FROZEN_ACTIONS = {"quota": _apply_quota, "reschedule": _apply_reschedule}
+
+
+def _frozen_policy(policy_name: str) -> PolicyOutcome:
+    """Index-drop scenario with exactly one manual action applied."""
+    act = _FROZEN_ACTIONS[policy_name]
+    workload, harness = _index_drop_harness()
+    harness.run(intervals=12)
+    workload.catalog.drop(O_DATE_INDEX)
+    harness.run(intervals=2)  # let the violation build
+    act(workload, harness)
+    # Freeze the controller so only the chosen action is in play.
+    harness.controller.config = ControllerConfig(
+        startup_grace_intervals=10_000
+    )
+    harness.run(intervals=8)
+    return PolicyOutcome(
+        policy=policy_name,
+        recovered_latency=_victim_latency(harness),
+        servers_used=_servers_used(harness, "tpcw"),
+        replicas_used=len(harness.scheduler("tpcw").replicas),
+    )
+
+
+def run_quota_vs_reschedule(workers: int | None = None) -> list[PolicyOutcome]:
     """Quota enforcement vs. forced rescheduling, immediately after the drop.
 
     Both fine-grained actions restore the *victims* (every class except the
@@ -119,101 +166,139 @@ def run_quota_vs_reschedule() -> list[PolicyOutcome]:
     later coarse escalation is disabled so the two actions are compared in
     isolation.
     """
-
-    def frozen(policy_name, act):
-        workload, harness = _index_drop_harness()
-        harness.run(intervals=12)
-        workload.catalog.drop(O_DATE_INDEX)
-        harness.run(intervals=2)  # let the violation build
-        act(workload, harness)
-        # Freeze the controller so only the chosen action is in play.
-        harness.controller.config = ControllerConfig(
-            startup_grace_intervals=10_000
-        )
-        harness.run(intervals=8)
-        return PolicyOutcome(
-            policy=policy_name,
-            recovered_latency=_victim_latency(harness),
-            servers_used=_servers_used(harness, "tpcw"),
-            replicas_used=len(harness.scheduler("tpcw").replicas),
-        )
-
-    def apply_quota(workload, harness):
-        from .buffer_partitioning import derive_quota, BufferPartitioningConfig
-
-        quota = derive_quota(BufferPartitioningConfig(seed=7))
-        replica = harness.replicas_of("tpcw")[0]
-        replica.engine.set_quota(f"tpcw/{BEST_SELLER}", quota)
-
-    def apply_reschedule(workload, harness):
-        scheduler = harness.scheduler("tpcw")
-        replica = harness.resource_manager.allocate_replica(
-            scheduler, harness.clock.now
-        )
-        harness.controller.track_replica(replica)
-        scheduler.move_class(f"tpcw/{BEST_SELLER}", replica.name)
-
-    return [
-        frozen("quota", apply_quota),
-        frozen("reschedule", apply_reschedule),
-    ]
+    return run_sweep(
+        [
+            SweepTask(f"ablation.frozen/{policy}", _frozen_policy, (policy,))
+            for policy in ("quota", "reschedule")
+        ],
+        workers=workers,
+    )
 
 
-def run_coarse_vs_fine() -> list[PolicyOutcome]:
+def _coarse_fine_policy(fine: bool, policy: str) -> PolicyOutcome:
+    """One run of the memory-contention scenario under one granularity."""
+    tpcw = build_tpcw(seed=7)
+    rubis = build_rubis(seed=11)
+    scale_cpu_costs(tpcw, CPU_SCALE)
+    scale_cpu_costs(rubis, CPU_SCALE)
+    harness = ClusterHarness.shared_engine(
+        [tpcw, rubis],
+        spare_servers=3,
+        clients={"tpcw": 60, "rubis": 0},
+        cost_model=EXPERIMENT_COST_MODEL,
+        config=ControllerConfig(fallback_patience=4, fine_grained=fine),
+        server_spec=ServerSpec(cores=16),
+    )
+    harness.run(intervals=10)
+    from ..workloads.load import ConstantLoad
+
+    harness.drivers["rubis"].load = ConstantLoad(300)
+    harness.run(intervals=10)
+    recovery = harness.run(intervals=6)
+    servers = {
+        r.host.name
+        for app in ("tpcw", "rubis")
+        for r in harness.replicas_of(app)
+    }
+    return PolicyOutcome(
+        policy=policy,
+        recovered_latency=recovery.steady_mean_latency("tpcw"),
+        servers_used=len(servers),
+        replicas_used=sum(
+            len(harness.scheduler(app).replicas) for app in ("tpcw", "rubis")
+        ),
+    )
+
+
+def run_coarse_vs_fine(workers: int | None = None) -> list[PolicyOutcome]:
     """Fine-grained pipeline vs. the coarse-only provisioning baseline on
     the shared-pool memory-contention scenario."""
-    outcomes = []
-    for fine, policy in ((True, "fine-grained"), (False, "coarse-only")):
-        tpcw = build_tpcw(seed=7)
-        rubis = build_rubis(seed=11)
-        scale_cpu_costs(tpcw, CPU_SCALE)
-        scale_cpu_costs(rubis, CPU_SCALE)
-        harness = ClusterHarness.shared_engine(
-            [tpcw, rubis],
-            spare_servers=3,
-            clients={"tpcw": 60, "rubis": 0},
-            cost_model=EXPERIMENT_COST_MODEL,
-            config=ControllerConfig(fallback_patience=4, fine_grained=fine),
-            server_spec=ServerSpec(cores=16),
-        )
-        harness.run(intervals=10)
-        from ..workloads.load import ConstantLoad
-
-        harness.drivers["rubis"].load = ConstantLoad(300)
-        harness.run(intervals=10)
-        recovery = harness.run(intervals=6)
-        servers = {
-            r.host.name
-            for app in ("tpcw", "rubis")
-            for r in harness.replicas_of(app)
-        }
-        outcomes.append(
-            PolicyOutcome(
-                policy=policy,
-                recovered_latency=recovery.steady_mean_latency("tpcw"),
-                servers_used=len(servers),
-                replicas_used=sum(
-                    len(harness.scheduler(app).replicas)
-                    for app in ("tpcw", "rubis")
-                ),
+    return run_sweep(
+        [
+            SweepTask(
+                f"ablation.granularity/{policy}",
+                _coarse_fine_policy,
+                (fine, policy),
             )
-        )
-    return outcomes
+            for fine, policy in ((True, "fine-grained"), (False, "coarse-only"))
+        ],
+        workers=workers,
+    )
 
 
-def run_topk_vs_outliers() -> list[PolicyOutcome]:
+def run_topk_vs_outliers(workers: int | None = None) -> list[PolicyOutcome]:
     """Outlier-guided candidate selection vs. always-top-k."""
-    guided = _run_index_drop_policy(
-        "outlier-guided", diagnosis=DiagnosisConfig(use_outlier_detection=True)
+    return run_sweep(
+        [
+            SweepTask(
+                "ablation.candidates/outlier-guided",
+                _run_index_drop_policy,
+                ("outlier-guided",),
+                {"diagnosis": DiagnosisConfig(use_outlier_detection=True)},
+            ),
+            SweepTask(
+                "ablation.candidates/top-k-only",
+                _run_index_drop_policy,
+                ("top-k-only",),
+                {"diagnosis": DiagnosisConfig(use_outlier_detection=False, top_k=6)},
+            ),
+        ],
+        workers=workers,
     )
-    topk = _run_index_drop_policy(
-        "top-k-only",
-        diagnosis=DiagnosisConfig(use_outlier_detection=False, top_k=6),
-    )
-    return [guided, topk]
 
 
-def run_routing_policies(clients: int = 40) -> list[PolicyOutcome]:
+def _routing_policy(policy: str, clients: int) -> PolicyOutcome:
+    """One run of the noisy-neighbour scenario under one read policy."""
+    workload = build_tpcw(seed=7)
+    scale_cpu_costs(workload, CPU_SCALE)
+    from ..cluster.replica import Replica
+    from ..cluster.resource_manager import ResourceManager
+    from ..cluster.scheduler import Scheduler
+    from ..cluster.server import PhysicalServer
+    from ..core.controller import ClusterController
+
+    manager = ResourceManager(cost_model=EXPERIMENT_COST_MODEL)
+    controller = ClusterController(
+        manager, config=ControllerConfig(startup_grace_intervals=10_000)
+    )
+    harness = ClusterHarness(controller)
+    scheduler = Scheduler(
+        workload.app,
+        read_policy=policy,
+        interval_length=controller.config.interval_length,
+    )
+    controller.add_scheduler(scheduler)
+    quiet = PhysicalServer("quiet", ServerSpec(cores=4))
+    noisy = PhysicalServer("noisy", ServerSpec(cores=4))
+    manager.add_server(quiet)
+    manager.add_server(noisy)
+    for name, server in (("tpcw-r1", quiet), ("tpcw-r2", noisy)):
+        replica = Replica.create(name, workload.app, server,
+                                 cost_model=EXPERIMENT_COST_MODEL)
+        scheduler.add_replica(replica)
+        controller.track_replica(replica)
+    harness.attach_workload(workload, clients)
+
+    def neighbour_load(h, server=noisy):
+        # A co-located tenant burning most of the noisy host's CPU and
+        # a good share of its I/O channel, every interval.
+        server.note_demand(cpu_seconds=30.0, io_pages=25_000.0)
+
+    for index in range(12):
+        harness.at_interval(index, neighbour_load)
+    result = harness.run(intervals=12)
+    return PolicyOutcome(
+        policy=policy,
+        recovered_latency=result.steady_mean_latency(workload.app),
+        servers_used=2,
+        replicas_used=2,
+        details={"quiet_share": _read_share(scheduler, "tpcw-r1")},
+    )
+
+
+def run_routing_policies(
+    clients: int = 40, workers: int | None = None
+) -> list[PolicyOutcome]:
     """Round-robin vs. load-aware read routing with a noisy neighbour.
 
     Two TPC-W replicas; the second replica's host also carries a steady
@@ -221,58 +306,15 @@ def run_routing_policies(clients: int = 40) -> list[PolicyOutcome]:
     reads to the slow host; the least-loaded policy drains toward the quiet
     one.
     """
-    outcomes = []
-    for policy in ("round_robin", "least_loaded"):
-        workload = build_tpcw(seed=7)
-        scale_cpu_costs(workload, CPU_SCALE)
-        from ..cluster.replica import Replica
-        from ..cluster.resource_manager import ResourceManager
-        from ..cluster.scheduler import Scheduler
-        from ..cluster.server import PhysicalServer
-        from ..core.controller import ClusterController
-
-        manager = ResourceManager(cost_model=EXPERIMENT_COST_MODEL)
-        controller = ClusterController(
-            manager, config=ControllerConfig(startup_grace_intervals=10_000)
-        )
-        harness = ClusterHarness(controller)
-        scheduler = Scheduler(
-            workload.app,
-            read_policy=policy,
-            interval_length=controller.config.interval_length,
-        )
-        controller.add_scheduler(scheduler)
-        quiet = PhysicalServer("quiet", ServerSpec(cores=4))
-        noisy = PhysicalServer("noisy", ServerSpec(cores=4))
-        manager.add_server(quiet)
-        manager.add_server(noisy)
-        for name, server in (("tpcw-r1", quiet), ("tpcw-r2", noisy)):
-            replica = Replica.create(name, workload.app, server,
-                                     cost_model=EXPERIMENT_COST_MODEL)
-            scheduler.add_replica(replica)
-            controller.track_replica(replica)
-        harness.attach_workload(workload, clients)
-
-        def neighbour_load(h, server=noisy):
-            # A co-located tenant burning most of the noisy host's CPU and
-            # a good share of its I/O channel, every interval.
-            server.note_demand(cpu_seconds=30.0, io_pages=25_000.0)
-
-        for index in range(12):
-            harness.at_interval(index, neighbour_load)
-        result = harness.run(intervals=12)
-        outcomes.append(
-            PolicyOutcome(
-                policy=policy,
-                recovered_latency=result.steady_mean_latency(workload.app),
-                servers_used=2,
-                replicas_used=2,
-                details={
-                    "quiet_share": quiet and _read_share(scheduler, "tpcw-r1")
-                },
+    return run_sweep(
+        [
+            SweepTask(
+                f"ablation.routing/{policy}", _routing_policy, (policy, clients)
             )
-        )
-    return outcomes
+            for policy in ("round_robin", "least_loaded")
+        ],
+        workers=workers,
+    )
 
 
 def _read_share(scheduler, replica_name: str) -> float:
@@ -284,8 +326,15 @@ def _read_share(scheduler, replica_name: str) -> float:
     return executions[replica_name] / total if total else 0.0
 
 
+def _window_estimate(length: int, trace: np.ndarray) -> int:
+    """Acceptable-memory estimate over the first ``length`` accesses."""
+    curve = MissRatioCurve.from_trace(trace[:length])
+    return curve.parameters(8192).acceptable_memory
+
+
 def run_mrc_window_sensitivity(
     window_lengths: tuple[int, ...] = (2000, 5000, 15000, 40000, 100000),
+    workers: int | None = None,
 ) -> dict[int, int]:
     """BestSeller's acceptable-memory estimate vs. analysed trace length.
 
@@ -299,8 +348,13 @@ def run_mrc_window_sensitivity(
     while len(pages) < max(window_lengths):
         pages.extend(best_seller.execute_pages().demand)
     trace = np.asarray(pages, dtype=np.int64)
-    estimates = {}
-    for length in window_lengths:
-        curve = MissRatioCurve.from_trace(trace[:length])
-        estimates[length] = curve.parameters(8192).acceptable_memory
-    return estimates
+    estimates = run_sweep(
+        [
+            SweepTask(
+                f"ablation.window/{length}", _window_estimate, (length, trace)
+            )
+            for length in window_lengths
+        ],
+        workers=workers,
+    )
+    return dict(zip(window_lengths, estimates))

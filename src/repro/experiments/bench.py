@@ -1,0 +1,603 @@
+"""Benchmark scenario registry and baseline harness.
+
+Twelve named scenarios — one per file of the ``benchmarks/`` pytest suite —
+each a module-level zero-argument function returning the scenario's
+**artefact metrics** as plain JSON types: the deterministic numbers the
+corresponding benchmark asserts on (latencies, quotas, feasibility flags),
+*never* a wall-clock value.  On top of the registry:
+
+* :func:`run_bench` runs any subset of scenarios, serially or sharded
+  across a process pool (``repro bench --parallel N``), timing each one;
+  because the scenarios are seeded end-to-end, the artefacts of a parallel
+  run are byte-identical to a serial run — :func:`artefact_digest` pins
+  exactly that;
+* ``BENCH_<name>.json`` baselines (committed under ``benchmarks/baselines``)
+  record each scenario's artefact and its wall-clock timing, seeding the
+  perf trajectory; :func:`compare_with_baseline` separates **artefact
+  drift** (a correctness regression — hard failure) from **timing drift**
+  (machine-dependent — warn outside the tolerance band);
+* :func:`run_bench_command` is the shared CLI driver behind both
+  ``repro bench`` and ``benchmarks/baseline.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.export import to_jsonable
+from .parallel import SweepTask, run_sweep
+
+__all__ = [
+    "BENCH_SCENARIOS",
+    "BenchRun",
+    "BaselineComparison",
+    "DEFAULT_BASELINE_DIR",
+    "run_bench",
+    "artefact_lines",
+    "artefact_digest",
+    "baseline_path",
+    "write_baseline",
+    "load_baseline",
+    "compare_with_baseline",
+    "merge_pytest_benchmark_timings",
+    "add_bench_arguments",
+    "run_bench_command",
+]
+
+BASELINE_SCHEMA = 1
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+TIMING_TOLERANCE = 0.25
+"""Relative wall-clock drift beyond which a baseline check *warns* (never
+fails: timings are machine-dependent; the artefact metrics are the
+regression contract)."""
+
+FLOAT_REL_TOL = 1e-6
+"""Relative tolerance for float artefact comparisons — wide enough to
+absorb numpy/BLAS version noise across machines, tight enough that any
+behavioural change in a scenario trips it."""
+
+
+# --------------------------------------------------------------------- #
+# Scenarios                                                             #
+# --------------------------------------------------------------------- #
+# Imports live inside each function: scenario modules pull in the whole
+# cluster stack, and worker processes only pay for what they run.
+
+
+def bench_fig3_cpu_saturation() -> dict:
+    from .cpu_saturation import CPUSaturationConfig, run_cpu_saturation
+
+    result = run_cpu_saturation(CPUSaturationConfig())
+    return {
+        "peak_replicas": result.peak_replicas,
+        "violations_before_recovery": result.violations_before_recovery,
+        "final_latency": result.final_latency,
+        "sla_met_at_end": result.sla_met_at_end(),
+        "allocation_series": result.allocation_series,
+    }
+
+
+def bench_fig4_index_drop() -> dict:
+    from .index_drop import IndexDropConfig, run_index_drop
+
+    result = run_index_drop(IndexDropConfig(clients=60))
+    quotas: dict[str, int] = {}
+    for action in result.actions:
+        quotas.update(action.quota_map())
+    return {
+        "latency_before": result.latency_before,
+        "latency_violation": result.latency_violation,
+        "latency_after": result.latency_after,
+        "outlier_contexts": result.outlier_contexts,
+        "quotas": quotas,
+    }
+
+
+def _mrc_artefact(result) -> dict:
+    return {
+        "context": result.context,
+        "trace_length": result.trace_length,
+        "total_memory": result.params.total_memory,
+        "ideal_miss_ratio": result.params.ideal_miss_ratio,
+        "acceptable_memory": result.params.acceptable_memory,
+        "acceptable_miss_ratio": result.params.acceptable_miss_ratio,
+    }
+
+
+def bench_fig5_mrc_bestseller() -> dict:
+    from .mrc_curves import run_fig5_bestseller
+
+    return _mrc_artefact(run_fig5_bestseller(executions=400))
+
+
+def bench_fig6_mrc_rubis() -> dict:
+    from .mrc_curves import run_fig6_search_items_by_region
+
+    return _mrc_artefact(run_fig6_search_items_by_region(executions=200))
+
+
+def bench_table1_buffer_partitioning() -> dict:
+    from .buffer_partitioning import (
+        BufferPartitioningConfig,
+        run_buffer_partitioning,
+    )
+
+    result = run_buffer_partitioning(BufferPartitioningConfig())
+    return to_jsonable(result)
+
+
+def bench_table2_memory_contention() -> dict:
+    from .memory_contention import MemoryContentionConfig, run_memory_contention
+
+    result = run_memory_contention(MemoryContentionConfig())
+    return {
+        "rows": to_jsonable(result.rows),
+        "rescheduled_context": result.rescheduled_context,
+    }
+
+
+def bench_table3_io_contention() -> dict:
+    from .io_contention import IOContentionConfig, run_io_contention
+
+    result = run_io_contention(IOContentionConfig(clients_per_instance=150))
+    return {
+        "rows": to_jsonable(result.rows),
+        "heaviest_io_context": result.heaviest_io_context,
+        "heaviest_io_share": result.heaviest_io_share,
+    }
+
+
+def bench_lock_contention() -> dict:
+    from .lock_contention import LockContentionConfig, run_lock_contention
+
+    result = run_lock_contention(LockContentionConfig())
+    return {
+        "latency_before": result.latency_before,
+        "latency_during": result.latency_during,
+        "baseline_lock_wait_share": result.baseline_lock_wait_share,
+        "lock_wait_share": result.lock_wait_share,
+        "reported_aggressor": result.reported_aggressor,
+    }
+
+
+def bench_sweep_client_load() -> dict:
+    from .sweeps import run_client_load_sweep
+
+    return {"rows": to_jsonable(run_client_load_sweep())}
+
+
+def bench_sweep_pool_size() -> dict:
+    from .sweeps import run_pool_size_sweep
+
+    return {"rows": to_jsonable(run_pool_size_sweep())}
+
+
+def bench_ablations() -> dict:
+    from .ablations import (
+        run_coarse_vs_fine,
+        run_mrc_window_sensitivity,
+        run_quota_vs_reschedule,
+        run_routing_policies,
+        run_topk_vs_outliers,
+    )
+
+    def rows(outcomes):
+        return [
+            {
+                "policy": o.policy,
+                "recovered_latency": o.recovered_latency,
+                "servers_used": o.servers_used,
+                "replicas_used": o.replicas_used,
+                "mrc_recomputations": o.mrc_recomputations,
+            }
+            for o in outcomes
+        ]
+
+    return to_jsonable(
+        {
+            "quota_vs_reschedule": rows(run_quota_vs_reschedule()),
+            "coarse_vs_fine": rows(run_coarse_vs_fine()),
+            "topk_vs_outliers": rows(run_topk_vs_outliers()),
+            "routing_policies": rows(run_routing_policies()),
+            "mrc_window_sensitivity": {
+                str(length): estimate
+                for length, estimate in run_mrc_window_sensitivity().items()
+            },
+        }
+    )
+
+
+def bench_ablation_sampled_mrc() -> dict:
+    from ..core.mrc import MissRatioCurve
+    from ..core.mrc_sampling import sampled_mrc
+    from ..workloads.tpcw import BEST_SELLER, build_tpcw
+    from .mrc_curves import trace_of_class
+
+    pool = 8192
+    workload = build_tpcw(seed=7)
+    trace = trace_of_class(workload.class_named(BEST_SELLER), executions=400)
+    exact = MissRatioCurve.from_trace(trace).parameters(pool)
+    rows = [
+        {"method": "exact", "kept_fraction": 1.0,
+         "acceptable_memory": exact.acceptable_memory}
+    ]
+    for rate in (0.5, 0.2, 0.1):
+        curve, stats = sampled_mrc(trace, rate=rate, seed=11)
+        rows.append(
+            {
+                "method": f"sampled R={rate}",
+                "kept_fraction": stats.effective_rate,
+                "acceptable_memory": curve.parameters(pool).acceptable_memory,
+            }
+        )
+    return {"trace_length": len(trace), "rows": to_jsonable(rows)}
+
+
+BENCH_SCENARIOS = {
+    "fig3_cpu_saturation": bench_fig3_cpu_saturation,
+    "fig4_index_drop": bench_fig4_index_drop,
+    "fig5_mrc_bestseller": bench_fig5_mrc_bestseller,
+    "fig6_mrc_rubis": bench_fig6_mrc_rubis,
+    "table1_buffer_partitioning": bench_table1_buffer_partitioning,
+    "table2_memory_contention": bench_table2_memory_contention,
+    "table3_io_contention": bench_table3_io_contention,
+    "lock_contention": bench_lock_contention,
+    "sweep_client_load": bench_sweep_client_load,
+    "sweep_pool_size": bench_sweep_pool_size,
+    "ablations": bench_ablations,
+    "ablation_sampled_mrc": bench_ablation_sampled_mrc,
+}
+
+PYTEST_BENCH_ALIASES = {
+    "test_fig3_cpu_saturation": "fig3_cpu_saturation",
+    "test_fig4_index_drop": "fig4_index_drop",
+    "test_fig5_mrc_bestseller": "fig5_mrc_bestseller",
+    "test_fig6_mrc_rubis": "fig6_mrc_rubis",
+    "test_table1_buffer_partitioning": "table1_buffer_partitioning",
+    "test_table2_memory_contention": "table2_memory_contention",
+    "test_table3_io_contention": "table3_io_contention",
+    "test_lock_contention": "lock_contention",
+    "test_sweep_client_load": "sweep_client_load",
+    "test_sweep_pool_size": "sweep_pool_size",
+    "test_ablation_quota_vs_reschedule": "ablations",
+    "test_ablation_coarse_vs_fine": "ablations",
+    "test_ablation_topk_vs_outliers": "ablations",
+    "test_ablation_routing_policies": "ablations",
+    "test_ablation_mrc_window": "ablations",
+    "test_ablation_sampled_mrc": "ablation_sampled_mrc",
+}
+"""pytest-benchmark test name → registry scenario (the five ablation
+benches fold into the one ``ablations`` scenario; their timings sum)."""
+
+
+# --------------------------------------------------------------------- #
+# Execution                                                             #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BenchRun:
+    """One scenario's outcome: its artefact metrics and wall-clock cost."""
+
+    name: str
+    artefact: dict
+    seconds: float
+
+
+def _timed_scenario(name: str) -> dict:
+    start = time.perf_counter()
+    artefact = to_jsonable(BENCH_SCENARIOS[name]())
+    return {
+        "name": name,
+        "artefact": artefact,
+        "seconds": time.perf_counter() - start,
+    }
+
+
+def resolve_names(only: str | None = None) -> list[str]:
+    """The scenario subset a ``--only a,b,c`` selector names (all when
+    empty), in registry order, with unknown names rejected."""
+    if not only:
+        return list(BENCH_SCENARIOS)
+    wanted = [name.strip() for name in only.split(",") if name.strip()]
+    unknown = sorted(set(wanted) - set(BENCH_SCENARIOS))
+    if unknown:
+        raise KeyError(
+            f"unknown benchmark scenario(s) {unknown}; "
+            f"known: {sorted(BENCH_SCENARIOS)}"
+        )
+    return [name for name in BENCH_SCENARIOS if name in wanted]
+
+
+def run_bench(
+    names: list[str] | None = None, workers: int | None = None
+) -> list[BenchRun]:
+    """Run the named scenarios (all by default); results in registry order.
+
+    Timings are measured inside each worker around the scenario call, so a
+    parallel run reports per-scenario costs, not wall-clock shares.
+    """
+    names = list(BENCH_SCENARIOS) if names is None else names
+    results = run_sweep(
+        [
+            SweepTask(name=f"bench/{name}", fn=_timed_scenario, args=(name,))
+            for name in names
+        ],
+        workers=workers,
+    )
+    return [
+        BenchRun(name=r["name"], artefact=r["artefact"], seconds=r["seconds"])
+        for r in results
+    ]
+
+
+def artefact_lines(runs: list[BenchRun]) -> list[str]:
+    """Canonical JSONL of the artefacts alone (timings excluded), the
+    byte-identity contract between serial and parallel runs."""
+    return [
+        json.dumps(
+            {"artefact": run.artefact, "name": run.name},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for run in runs
+    ]
+
+
+def artefact_digest(runs: list[BenchRun]) -> str:
+    """sha256 over :func:`artefact_lines` (trailing newline included)."""
+    blob = ("\n".join(artefact_lines(runs)) + "\n").encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Baselines                                                             #
+# --------------------------------------------------------------------- #
+
+
+def baseline_path(directory: str | Path, name: str) -> Path:
+    return Path(directory) / f"BENCH_{name}.json"
+
+
+def write_baseline(run: BenchRun, directory: str | Path) -> Path:
+    """Serialise one run as ``BENCH_<name>.json``; returns the path."""
+    path = baseline_path(directory, run.name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "name": run.name,
+        "artefact": run.artefact,
+        "timing": {"seconds": round(run.seconds, 6)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(directory: str | Path, name: str) -> dict | None:
+    path = baseline_path(directory, name)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _diff_artefact(expected, actual, path: str, drift: list[str]) -> None:
+    """Collect human-readable paths where ``actual`` left ``expected``."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            where = f"{path}.{key}" if path else str(key)
+            if key not in expected:
+                drift.append(f"{where}: unexpected new key")
+            elif key not in actual:
+                drift.append(f"{where}: missing")
+            else:
+                _diff_artefact(expected[key], actual[key], where, drift)
+        return
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            drift.append(f"{path}: length {len(expected)} -> {len(actual)}")
+            return
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            _diff_artefact(left, right, f"{path}[{index}]", drift)
+        return
+    if isinstance(expected, float) or isinstance(actual, float):
+        if isinstance(expected, (int, float)) and isinstance(
+            actual, (int, float)
+        ) and not isinstance(expected, bool) and not isinstance(actual, bool):
+            if not math.isclose(
+                float(expected), float(actual),
+                rel_tol=FLOAT_REL_TOL, abs_tol=1e-9,
+            ):
+                drift.append(f"{path}: {expected} -> {actual}")
+            return
+    if expected != actual:
+        drift.append(f"{path}: {expected!r} -> {actual!r}")
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """One scenario checked against its committed baseline."""
+
+    name: str
+    drift: tuple[str, ...]
+    timing_ratio: float | None
+    timing_ok: bool
+
+    @property
+    def artefact_ok(self) -> bool:
+        return not self.drift
+
+
+def compare_with_baseline(
+    run: BenchRun,
+    baseline: dict,
+    timing_tolerance: float = TIMING_TOLERANCE,
+) -> BaselineComparison:
+    """Artefact drift is a failure; timing drift is machine noise (warn)."""
+    drift: list[str] = []
+    _diff_artefact(baseline.get("artefact"), run.artefact, "", drift)
+    recorded = float(baseline.get("timing", {}).get("seconds") or 0.0)
+    ratio = run.seconds / recorded if recorded > 0 else None
+    timing_ok = ratio is None or abs(ratio - 1.0) <= timing_tolerance
+    return BaselineComparison(
+        name=run.name,
+        drift=tuple(drift),
+        timing_ratio=ratio,
+        timing_ok=timing_ok,
+    )
+
+
+def merge_pytest_benchmark_timings(
+    json_path: str | Path, directory: str | Path
+) -> list[str]:
+    """Fold a ``pytest --benchmark-json`` report into existing baselines.
+
+    Matches benchmark test names through :data:`PYTEST_BENCH_ALIASES`,
+    sums the mean timings that map to the same scenario (the five ablation
+    benches), and rewrites each matched baseline's ``timing.seconds``.
+    Returns the names of the scenarios updated.
+    """
+    report = json.loads(Path(json_path).read_text())
+    totals: dict[str, float] = {}
+    for entry in report.get("benchmarks", []):
+        test_name = str(entry.get("name", "")).split("[", 1)[0]
+        scenario = PYTEST_BENCH_ALIASES.get(test_name)
+        if scenario is None:
+            continue
+        mean = float(entry.get("stats", {}).get("mean", 0.0))
+        totals[scenario] = totals.get(scenario, 0.0) + mean
+    updated = []
+    for scenario, seconds in sorted(totals.items()):
+        baseline = load_baseline(directory, scenario)
+        if baseline is None:
+            continue
+        baseline["timing"] = {"seconds": round(seconds, 6)}
+        baseline_path(directory, scenario).write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        updated.append(scenario)
+    return updated
+
+
+# --------------------------------------------------------------------- #
+# CLI driver (shared by `repro bench` and benchmarks/baseline.py)       #
+# --------------------------------------------------------------------- #
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="shard scenarios across N worker processes "
+                             "(default: serial; artefacts are identical "
+                             "either way)")
+    parser.add_argument("--only", type=str, default=None,
+                        help="comma-separated scenario subset")
+    parser.add_argument("--baseline-dir", type=str,
+                        default=str(DEFAULT_BASELINE_DIR),
+                        help="where committed BENCH_<name>.json baselines "
+                             "live (default: %(default)s)")
+    parser.add_argument("--write-baselines", action="store_true",
+                        help="write/refresh BENCH_<name>.json from this run")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against committed baselines: exit "
+                             "non-zero on artefact drift, warn on timing "
+                             f"outside the ±{TIMING_TOLERANCE:.0%} band")
+    parser.add_argument("--fresh-dir", type=str, default=None,
+                        help="also write this run's BENCH_<name>.json here "
+                             "(e.g. for upload as a CI artifact)")
+    parser.add_argument("--list", action="store_true", dest="list_scenarios",
+                        help="list the registered scenarios and exit")
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    from ..analysis.report import Table
+
+    if getattr(args, "list_scenarios", False):
+        print("Benchmark scenarios:")
+        for name in BENCH_SCENARIOS:
+            print(f"  {name}")
+        return 0
+    try:
+        names = resolve_names(getattr(args, "only", None))
+    except KeyError as error:
+        print(f"repro bench: {error.args[0]}")
+        return 2
+    workers = getattr(args, "parallel", None)
+    runs = run_bench(names, workers=workers)
+
+    baseline_dir = Path(getattr(args, "baseline_dir", DEFAULT_BASELINE_DIR))
+    check = bool(getattr(args, "check", False))
+    comparisons: dict[str, BaselineComparison | None] = {}
+    if check:
+        for run in runs:
+            baseline = load_baseline(baseline_dir, run.name)
+            comparisons[run.name] = (
+                compare_with_baseline(run, baseline)
+                if baseline is not None
+                else None
+            )
+
+    table = Table(
+        title=f"benchmark scenarios ({'parallel ' + str(workers) if workers and workers > 1 else 'serial'})",
+        headers=["scenario", "seconds", "baseline (s)", "timing", "artefact"],
+    )
+    failures: list[str] = []
+    warnings: list[str] = []
+    for run in runs:
+        baseline = load_baseline(baseline_dir, run.name)
+        recorded = (
+            f"{baseline['timing']['seconds']:.3f}"
+            if baseline and baseline.get("timing", {}).get("seconds")
+            else "-"
+        )
+        comparison = comparisons.get(run.name)
+        if not check:
+            timing_cell = "-"
+            artefact_cell = "-"
+        elif comparison is None:
+            timing_cell = "no baseline"
+            artefact_cell = "no baseline"
+            failures.append(f"{run.name}: no committed baseline")
+        else:
+            timing_cell = (
+                f"{comparison.timing_ratio:.2f}x"
+                if comparison.timing_ratio is not None
+                else "-"
+            )
+            if not comparison.timing_ok:
+                timing_cell += " (warn)"
+                warnings.append(
+                    f"{run.name}: timing {comparison.timing_ratio:.2f}x "
+                    f"baseline (tolerance ±{TIMING_TOLERANCE:.0%})"
+                )
+            artefact_cell = "ok" if comparison.artefact_ok else "DRIFT"
+            if not comparison.artefact_ok:
+                failures.append(
+                    f"{run.name}: artefact drift — "
+                    + "; ".join(comparison.drift[:5])
+                )
+        table.add_row(
+            run.name, f"{run.seconds:.3f}", recorded, timing_cell, artefact_cell
+        )
+    print(table.render())
+    print(f"\nartefact digest: {artefact_digest(runs)}")
+
+    if getattr(args, "write_baselines", False):
+        for run in runs:
+            path = write_baseline(run, baseline_dir)
+            print(f"baseline written: {path}")
+    fresh_dir = getattr(args, "fresh_dir", None)
+    if fresh_dir:
+        for run in runs:
+            write_baseline(run, fresh_dir)
+        print(f"fresh baselines written under: {fresh_dir}")
+
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    for failure in failures:
+        print(f"FAILURE: {failure}")
+    return 1 if failures else 0

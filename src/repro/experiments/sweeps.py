@@ -1,0 +1,150 @@
+"""Parameter sweeps over the paper's scenarios, parallelisable point-wise.
+
+Two sweeps the benchmark suite reports:
+
+* **client load vs. index-drop severity** — Figure 4's violation is
+  load-dependent: the degraded BestSeller plan always gets slower, but the
+  application-level SLA only breaks once the extra read-ahead I/O meets
+  enough concurrent traffic.  The sweep locates the crossover.
+* **pool size vs. co-location feasibility** — Table 2's conclusion
+  ("SearchItemsByRegion cannot be co-located with TPC-W in a shared
+  8192-page pool") is a function of the pool size.  The sweep runs the
+  quota feasibility check across pool sizes and finds the crossover.
+
+Each sweep point is an independent simulation (or feasibility check), so
+both drivers accept ``workers`` and shard their points across a process
+pool via :mod:`repro.experiments.parallel`; results come back in
+submission order, byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+from ..core.mrc import MissRatioCurve
+from ..core.quota import find_quotas
+from .index_drop import IndexDropConfig, run_index_drop
+from .mrc_curves import trace_of_class
+from .parallel import SweepTask, run_sweep
+
+__all__ = [
+    "CLIENT_LOADS",
+    "POOL_SIZES",
+    "run_client_load_sweep",
+    "run_pool_size_sweep",
+]
+
+CLIENT_LOADS = (20, 40, 60, 80)
+POOL_SIZES = (4096, 8192, 12288, 16384, 24576, 32768)
+
+
+def _client_load_point(
+    clients: int,
+    warmup_intervals: int,
+    violation_intervals: int,
+    recovery_intervals: int,
+) -> tuple[int, float, float, float, bool]:
+    """One sweep point: the index-drop scenario at one client population."""
+    result = run_index_drop(
+        IndexDropConfig(
+            clients=clients,
+            warmup_intervals=warmup_intervals,
+            violation_intervals=violation_intervals,
+            recovery_intervals=recovery_intervals,
+        )
+    )
+    return (
+        clients,
+        result.latency_before,
+        result.latency_violation,
+        result.latency_after,
+        bool(result.latency_violation > 1.0),
+    )
+
+
+def run_client_load_sweep(
+    loads: tuple[int, ...] = CLIENT_LOADS,
+    workers: int | None = None,
+    warmup_intervals: int = 10,
+    violation_intervals: int = 5,
+    recovery_intervals: int = 4,
+) -> list[tuple[int, float, float, float, bool]]:
+    """Index-drop severity at each client population in ``loads``.
+
+    Rows are ``(clients, latency_before, worst_violated_latency,
+    latency_after_retuning, sla_incident)``, in the order of ``loads``.
+    """
+    tasks = [
+        SweepTask(
+            name=f"sweep.client_load/{clients}",
+            fn=_client_load_point,
+            args=(
+                clients,
+                warmup_intervals,
+                violation_intervals,
+                recovery_intervals,
+            ),
+        )
+        for clients in loads
+    ]
+    return run_sweep(tasks, workers=workers)
+
+
+def _build_colocation_curves() -> tuple[MissRatioCurve, dict[str, MissRatioCurve]]:
+    """The SIBR curve and every TPC-W class curve, from seeded traces."""
+    from ..workloads.rubis import SEARCH_ITEMS_BY_REGION, build_rubis
+    from ..workloads.tpcw import build_tpcw
+
+    tpcw = build_tpcw(seed=7)
+    rubis = build_rubis(seed=11)
+    sibr_trace = trace_of_class(
+        rubis.class_named(SEARCH_ITEMS_BY_REGION), executions=150
+    )
+    sibr_curve = MissRatioCurve.from_trace(sibr_trace)
+    tpcw_curves = {}
+    for query_class in tpcw.classes():
+        executions = 250 if query_class.name != "best_seller" else 120
+        trace = trace_of_class(query_class, executions=executions)
+        tpcw_curves[query_class.name] = MissRatioCurve.from_trace(trace)
+    return sibr_curve, tpcw_curves
+
+
+def _pool_size_point(
+    pool: int,
+    sibr_curve: MissRatioCurve,
+    tpcw_curves: dict[str, MissRatioCurve],
+) -> tuple[int, int, int, bool, int]:
+    """One sweep point: quota feasibility at one pool size."""
+    problem = {"sibr": sibr_curve.parameters(pool)}
+    others = {
+        name: curve.parameters(pool) for name, curve in tpcw_curves.items()
+    }
+    plan = find_quotas(problem, others, pool, min_quota=256)
+    return (
+        pool,
+        problem["sibr"].acceptable_memory,
+        sum(p.acceptable_memory for p in others.values()),
+        plan.feasible,
+        plan.quotas.get("sibr", 0),
+    )
+
+
+def run_pool_size_sweep(
+    pools: tuple[int, ...] = POOL_SIZES,
+    workers: int | None = None,
+) -> list[tuple[int, int, int, bool, int]]:
+    """Co-location feasibility at each pool size in ``pools``.
+
+    The class curves are built once (they do not depend on the pool size)
+    and shipped to every worker; each point only extracts parameters and
+    runs the quota search.  Rows are ``(pool, sibr_acceptable,
+    tpcw_acceptable_sum, quota_feasible, sibr_quota)``.
+    """
+    sibr_curve, tpcw_curves = _build_colocation_curves()
+    tasks = [
+        SweepTask(
+            name=f"sweep.pool_size/{pool}",
+            fn=_pool_size_point,
+            args=(pool, sibr_curve, tpcw_curves),
+        )
+        for pool in pools
+    ]
+    return run_sweep(tasks, workers=workers)

@@ -1,0 +1,109 @@
+"""Parallel sweeps are byte-identical to serial runs.
+
+The fan-out runner's contract is strict: sharding a sweep across worker
+processes may change only the wall clock, never a single byte of the
+results.  That holds because every :class:`SweepTask` seeds its own RNGs
+from a name-derived seed (no inherited generator state) and results merge
+in submission order (no completion-order races).  These tests run the
+same sweep serially and with four workers, compare the canonical JSON
+digests, and pin the digest to a golden so a *serial* behaviour change
+cannot masquerade as a parallelism bug (or vice versa).
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.experiments.parallel import SweepTask, run_sweep
+from repro.experiments.sweeps import run_client_load_sweep, run_pool_size_sweep
+
+SWEEP_LOADS = (15, 25)
+SWEEP_INTERVALS = dict(
+    warmup_intervals=4, violation_intervals=2, recovery_intervals=2
+)
+
+GOLDEN_CLIENT_LOAD_SHA256 = (
+    "8cc7a7e7232b4018f027d9f930fc7dbd4b74851fb1e94d9cb6db5569af979e41"
+)
+"""sha256 of the canonical JSON of the reduced client-load sweep.
+
+Regenerate after an *intentional* scenario change with::
+
+    PYTHONPATH=src python - <<'EOF'
+    import hashlib, json
+    from repro.experiments.sweeps import run_client_load_sweep
+    rows = run_client_load_sweep(loads=(15, 25), warmup_intervals=4,
+                                 violation_intervals=2, recovery_intervals=2)
+    blob = json.dumps(rows, sort_keys=True, separators=(",", ":")).encode()
+    print(hashlib.sha256(blob).hexdigest())
+    EOF
+"""
+
+
+def digest(rows) -> str:
+    blob = json.dumps(rows, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    return run_client_load_sweep(loads=SWEEP_LOADS, **SWEEP_INTERVALS)
+
+
+@pytest.fixture(scope="module")
+def parallel_rows():
+    return run_client_load_sweep(loads=SWEEP_LOADS, workers=4, **SWEEP_INTERVALS)
+
+
+class TestClientLoadSweepEquivalence:
+    def test_parallel_rows_equal_serial(self, serial_rows, parallel_rows):
+        assert parallel_rows == serial_rows
+
+    def test_digests_match(self, serial_rows, parallel_rows):
+        assert digest(parallel_rows) == digest(serial_rows)
+
+    def test_golden_digest(self, serial_rows):
+        assert digest(serial_rows) == GOLDEN_CLIENT_LOAD_SHA256
+
+    def test_row_order_follows_loads(self, parallel_rows):
+        assert [clients for clients, *_ in parallel_rows] == list(SWEEP_LOADS)
+
+
+class TestPoolSizeSweepEquivalence:
+    def test_parallel_equals_serial(self):
+        pools = (4096, 8192)
+        serial = run_pool_size_sweep(pools=pools)
+        parallel = run_pool_size_sweep(pools=pools, workers=4)
+        assert digest(parallel) == digest(serial)
+
+
+class TestRunSweepMechanics:
+    def test_results_in_submission_order(self):
+        tasks = [
+            SweepTask(name=f"t/{i}", fn=_describe, args=(i,)) for i in range(8)
+        ]
+        assert run_sweep(tasks, workers=4) == run_sweep(tasks)
+
+    def test_seeds_derive_from_names_not_worker_state(self):
+        # Two tasks with the same name draw the same stream no matter
+        # which worker (or the parent process) runs them.
+        task = SweepTask(name="same", fn=_draw)
+        a, b = run_sweep([task, task], workers=2)
+        (c,) = run_sweep([task])
+        assert a == b == c
+
+    def test_distinct_names_get_distinct_seeds(self):
+        tasks = [SweepTask(name=f"draw/{i}", fn=_draw) for i in range(4)]
+        values = run_sweep(tasks, workers=2)
+        assert len(set(values)) == len(values)
+
+
+def _describe(index):
+    return {"index": index, "squared": index * index}
+
+
+def _draw():
+    import random
+
+    return random.random()

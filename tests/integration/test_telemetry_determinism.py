@@ -18,7 +18,7 @@ from repro.experiments.runner import quickstart_scenario
 SCENARIO = dict(intervals=6, clients=12)
 META = {"scenario": "quickstart", "seed": 7, **SCENARIO}
 
-GOLDEN_SHA256 = "4157d7435d348f336747de451ebd72dc24a504a692b7a8bf98b7adffdace6bc7"
+GOLDEN_SHA256 = "9d38e145157116488011b969d8c804cede84775c68fce2e0d15297bef69481f7"
 """sha256 of the quickstart telemetry JSONL (intervals=6, clients=12).
 
 Regenerate after an *intentional* telemetry change with::
