@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Perf smoke: the batched engine path stays correct *and* observable.
+
+Runs the fig4 index-drop scenario — engine-driven end to end, so every page
+reference flows through ``BufferPool.access_many`` / ``prefetch_many`` —
+with the engine-level telemetry hook attached, then asserts:
+
+1. **artefact unchanged** — the scenario's artefact matches the committed
+   ``BENCH_fig4_index_drop.json`` (the fast path cannot drift the
+   simulation, telemetry attached or not), and
+2. **fast path instrumented** — the ``engine.pages_per_sec`` gauge carries a
+   positive value and the ``engine.batch_pages`` histogram has observations
+   (the batched path actually reported its throughput).
+
+Run from the repo root (CI runs it in the bench-baseline job)::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.export import to_jsonable  # noqa: E402
+from repro.engine.engine import set_engine_obs  # noqa: E402
+from repro.experiments.bench import (  # noqa: E402
+    BENCH_SCENARIOS,
+    BenchRun,
+    compare_with_baseline,
+    load_baseline,
+)
+from repro.obs import Observability  # noqa: E402
+
+SCENARIO = "fig4_index_drop"
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+
+def main() -> int:
+    obs = Observability()
+    set_engine_obs(obs)
+    try:
+        start = time.perf_counter()
+        artefact = to_jsonable(BENCH_SCENARIOS[SCENARIO]())
+        seconds = time.perf_counter() - start
+    finally:
+        set_engine_obs(None)
+
+    failures: list[str] = []
+
+    baseline = load_baseline(BASELINE_DIR, SCENARIO)
+    if baseline is None:
+        failures.append(f"no committed baseline for {SCENARIO}")
+    else:
+        run = BenchRun(name=SCENARIO, artefact=artefact, seconds=seconds)
+        comparison = compare_with_baseline(run, baseline)
+        if not comparison.artefact_ok:
+            drift = "; ".join(comparison.drift[:5])
+            failures.append(f"artefact drift vs baseline: {drift}")
+
+    gauges = [
+        metric
+        for metric in obs.registry.snapshot()
+        if metric["name"] == "engine.pages_per_sec"
+    ]
+    histograms = [
+        metric
+        for metric in obs.registry.snapshot()
+        if metric["name"] == "engine.batch_pages"
+    ]
+    if not any(metric["value"] > 0.0 for metric in gauges):
+        failures.append("engine.pages_per_sec gauge never set to a positive value")
+    if not any(metric["count"] > 0 for metric in histograms):
+        failures.append("engine.batch_pages histogram has no observations")
+
+    pps = max((metric["value"] for metric in gauges), default=0.0)
+    batches = sum(metric["count"] for metric in histograms)
+    print(f"perf smoke: {SCENARIO} in {seconds:.3f}s")
+    print(f"  engine.pages_per_sec (max over engines): {pps:,.0f}")
+    print(f"  engine.batch_pages observations: {batches}")
+    for failure in failures:
+        print(f"FAILURE: {failure}")
+    if not failures:
+        print("perf smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

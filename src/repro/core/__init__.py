@@ -20,6 +20,7 @@ from .mrc import (
     MRCParameters,
     MRCTracker,
     stack_distances,
+    stack_distances_fenwick,
 )
 from .outliers import (
     Fences,
@@ -76,6 +77,7 @@ __all__ = [
     "sample_trace",
     "sampled_mrc",
     "stack_distances",
+    "stack_distances_fenwick",
     "top_k_heavyweight",
     "vector_from_stats",
 ]

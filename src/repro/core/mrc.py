@@ -10,9 +10,15 @@ references increment ``Hit[inf]``.  The paper's Equation (1):
 
     MR(m) = 1 - sum_{i<=m} Hit[i] / (sum_i Hit[i] + Hit[inf])
 
-Stack distances are computed in ``O(N log N)`` with a Fenwick tree over
-access timestamps (the classical reuse-distance trick), instead of the
-``O(N * depth)`` naive linked-list walk.
+Stack distances are computed in ``O(N log N)`` — but fully vectorised:
+the distance of reference ``i`` with previous occurrence ``prev[i]`` is
+``(i - prev[i]) - #{k < i : prev[k] > prev[i]}`` (each later re-reference
+of another page collapses one duplicate in the interval), and the
+count-earlier-greater term is evaluated level-by-level with sorted blocks
+and ``numpy.searchsorted`` (a CDQ divide-and-conquer flattened into array
+passes).  The classical per-element Fenwick-tree formulation is kept as
+:func:`stack_distances_fenwick` — the reference the property suite checks
+the vectorised path against.
 
 Two parameters summarise a curve (paper §3.3):
 
@@ -36,6 +42,7 @@ from ..obs.registry import MetricRegistry, NULL_REGISTRY
 __all__ = [
     "FenwickTree",
     "stack_distances",
+    "stack_distances_fenwick",
     "MissRatioCurve",
     "MRCParameters",
     "MRCTracker",
@@ -87,12 +94,12 @@ class FenwickTree:
         return self.prefix_sum(stop) - self.prefix_sum(start)
 
 
-def stack_distances(trace: Sequence[int] | np.ndarray) -> np.ndarray:
-    """LRU stack distance of every reference in ``trace``.
+def stack_distances_fenwick(trace: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Per-element Fenwick-tree stack distances (reference implementation).
 
-    A distance of ``d`` means the page sat at depth ``d`` (1-based) in the
-    LRU stack, i.e. a pool of ``>= d`` pages would have hit.  First-ever
-    references get distance 0 (the cold-miss marker).
+    Same contract as :func:`stack_distances`; kept because its correctness
+    is easy to audit and the property suite uses it as the oracle for the
+    vectorised path.
     """
     pages = np.asarray(trace, dtype=np.int64)
     n = len(pages)
@@ -111,6 +118,75 @@ def stack_distances(trace: Sequence[int] | np.ndarray) -> np.ndarray:
         tree.add(i, 1)
         last_seen[page] = i
     return distances
+
+
+def _count_earlier_greater(values: np.ndarray) -> np.ndarray:
+    """``out[i] = #{k < i : values[k] > values[i]}`` without a Python loop.
+
+    A CDQ divide-and-conquer over positions, run bottom-up: at each level
+    the array is viewed as blocks of ``size``; every odd block queries its
+    left sibling, which is already available fully sorted.  All queries of
+    a level collapse into one ``searchsorted`` by shifting each block's
+    values into a disjoint range (``block index * span``), so the
+    concatenation of the per-block sorted runs is globally sorted.
+    """
+    n = len(values)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    n_pad = 1 << max(1, (n - 1).bit_length()) if n > 1 else 1
+    lo = int(values.min()) - 1
+    arr = np.full(n_pad, lo, dtype=np.int64)  # padding never exceeds a query
+    arr[:n] = values
+    counts = np.zeros(n_pad, dtype=np.int64)
+    span = int(arr.max()) - lo + 2
+    idx = np.arange(n_pad, dtype=np.int64)
+    size = 1
+    while size < n_pad:
+        nblocks = n_pad // size
+        block_of = idx // size
+        shifted = arr + block_of * span
+        flat = np.sort(shifted.reshape(nblocks, size), axis=1).ravel()
+        query = (block_of & 1) == 1
+        qi = idx[query]
+        left = block_of[qi] - 1
+        qval = arr[qi] + left * span
+        pos = np.searchsorted(flat, qval, side="right")
+        # Elements of the left sibling strictly greater than the query value:
+        # the block ends at (left + 1) * size in the flattened sorted runs.
+        counts[qi] += (left + 1) * size - pos
+        size *= 2
+    return counts[:n]
+
+
+def stack_distances(trace: Sequence[int] | np.ndarray) -> np.ndarray:
+    """LRU stack distance of every reference in ``trace``.
+
+    A distance of ``d`` means the page sat at depth ``d`` (1-based) in the
+    LRU stack, i.e. a pool of ``>= d`` pages would have hit.  First-ever
+    references get distance 0 (the cold-miss marker).
+
+    Vectorised: with ``prev[i]`` the previous occurrence of page
+    ``trace[i]`` (or -1), the distance is ``i - prev[i]`` minus the number
+    of references in between whose page re-appears before ``i`` — i.e.
+    ``#{k < i : prev[k] > prev[i]}`` — because each such re-reference
+    collapses one duplicate in the interval.  Produces bit-identical
+    output to :func:`stack_distances_fenwick`.
+    """
+    pages = np.asarray(trace, dtype=np.int64)
+    n = len(pages)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(pages, kind="stable")
+    sorted_pages = pages[order]
+    prev_sorted = np.empty(n, dtype=np.int64)
+    prev_sorted[0] = -1
+    same_page = sorted_pages[1:] == sorted_pages[:-1]
+    prev_sorted[1:] = np.where(same_page, order[:-1], -1)
+    prev = np.empty(n, dtype=np.int64)
+    prev[order] = prev_sorted
+    counts = _count_earlier_greater(prev)
+    idx = np.arange(n, dtype=np.int64)
+    return np.where(prev < 0, 0, idx - prev - counts)
 
 
 class MissRatioCurve:

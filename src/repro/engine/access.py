@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..sim.rng import RandomStream, ZipfGenerator
 from .indexes import BTreeIndex, IndexCatalog
 from .pages import PageRange
@@ -96,13 +98,12 @@ class ZipfWorkingSet(AccessPattern):
         layout = list(range(working_set))
         stream.shuffle(layout)
         self._layout = layout
+        self._layout_array = np.asarray(layout, dtype=np.int64)
         self._zipf = ZipfGenerator(working_set, theta, stream)
 
     def pages_for_execution(self) -> ExecutionAccess:
-        demand = [
-            self._range.page(self._layout[self._zipf.sample()])
-            for _ in range(self.pages_per_execution)
-        ]
+        ranks = self._zipf.sample_many(self.pages_per_execution)
+        demand = self._range.page_array(self._layout_array[ranks]).tolist()
         return ExecutionAccess(demand=demand)
 
     def footprint_pages(self) -> int:
@@ -129,10 +130,10 @@ class UniformWorkingSet(AccessPattern):
         self._stream = stream
 
     def pages_for_execution(self) -> ExecutionAccess:
-        demand = [
-            self._range.page(self._stream.integers(0, self.working_set))
-            for _ in range(self.pages_per_execution)
-        ]
+        offsets = self._stream.integers_array(
+            0, self.working_set, self.pages_per_execution
+        )
+        demand = self._range.page_array(offsets).tolist()
         return ExecutionAccess(demand=demand)
 
     def footprint_pages(self) -> int:
@@ -166,11 +167,15 @@ class SequentialChunkScan(AccessPattern):
         self.chunk = min(chunk, self.region)
         self.readahead = readahead
         self._cursor = 0
+        self._chunk_steps = np.arange(self.chunk, dtype=np.int64)
+        self._readahead_steps = np.arange(
+            min(self.readahead, self.region), dtype=np.int64
+        )
 
     def pages_for_execution(self) -> ExecutionAccess:
-        demand = []
-        for step in range(self.chunk):
-            demand.append(self._range.page((self._cursor + step) % self.region))
+        demand = self._range.page_array(
+            (self._cursor + self._chunk_steps) % self.region
+        ).tolist()
         self._cursor = (self._cursor + self.chunk) % self.region
         # Sequential read-ahead covers the chunk being scanned plus a
         # look-ahead beyond it: the engine recognises the sequential pattern
@@ -178,10 +183,12 @@ class SequentialChunkScan(AccessPattern):
         # themselves land as buffer-pool hits while the I/O shows up as
         # read-ahead block requests (the Figure 4(d) signature).
         prefetch = list(demand)
-        prefetch.extend(
-            self._range.page((self._cursor + step) % self.region)
-            for step in range(min(self.readahead, self.region))
-        )
+        if len(self._readahead_steps):
+            prefetch.extend(
+                self._range.page_array(
+                    (self._cursor + self._readahead_steps) % self.region
+                ).tolist()
+            )
         return ExecutionAccess(demand=demand, prefetch=prefetch)
 
     def footprint_pages(self) -> int:

@@ -12,13 +12,25 @@ Two pool organisations are provided:
 Both organisations expose the same ``access`` / ``prefetch`` interface and
 keep per-query-class hit/miss/read-ahead counters, which is exactly the
 signal the outlier detector consumes.
+
+Every pool also exposes a *batched* fast path — :meth:`BufferPool.access_many`
+and :meth:`BufferPool.prefetch_many` — that processes one execution's whole
+page vector per call: residency and LRU maintenance run over hoisted locals,
+hit/miss counts accumulate in plain ints and reach :class:`PoolStats` once
+per batch through :meth:`PoolStats.record_batch`, and read-ahead vectors are
+deduplicated with numpy set operations before touching the pool.  The batched
+path is bit-exact with the per-page loop: same hit/miss/eviction sequence,
+same LRU order, same counters (the property suite in
+``tests/property/test_prop_bufferpool_batched.py`` pins this differentially).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 __all__ = [
     "PoolStats",
@@ -59,6 +71,25 @@ class PoolStats:
 
     def record_eviction(self, count: int = 1) -> None:
         self.evictions += count
+
+    def record_batch(self, query_class: str, hits: int, misses: int) -> None:
+        """Fold one batch's hit/miss outcome in with two bucket lookups.
+
+        Equivalent to ``hits`` ``record_hit`` calls plus ``misses``
+        ``record_miss`` calls; the batched access path uses it to keep the
+        per-page stats work out of the pool's hot loop.
+        """
+        if hits < 0 or misses < 0:
+            raise ValueError(
+                f"batch counts cannot be negative: hits={hits} misses={misses}"
+            )
+        if hits == 0 and misses == 0:
+            return  # zero record_* calls: do not materialise a class bucket
+        self.hits += hits
+        self.misses += misses
+        bucket = self._bucket(query_class)
+        bucket["hits"] += hits
+        bucket["misses"] += misses
 
     @property
     def accesses(self) -> int:
@@ -111,6 +142,30 @@ class BufferPool:
         """
         raise NotImplementedError
 
+    def access_many(
+        self, page_ids: Sequence[int] | np.ndarray, query_class: str = ""
+    ) -> int:
+        """Reference a whole page vector; returns the number of hits.
+
+        Bit-exact with calling :meth:`access` per page, in order.  Subclasses
+        override this with a batch-local fast path; the default delegates.
+        """
+        if isinstance(page_ids, np.ndarray):
+            page_ids = page_ids.tolist()
+        hits = 0
+        for page_id in page_ids:
+            if self.access(page_id, query_class):
+                hits += 1
+        return hits
+
+    def prefetch_many(
+        self, page_ids: Sequence[int] | np.ndarray, query_class: str = ""
+    ) -> int:
+        """Batched :meth:`prefetch`; returns the number of pages fetched."""
+        if isinstance(page_ids, np.ndarray):
+            page_ids = page_ids.tolist()
+        return self.prefetch(page_ids, query_class)
+
     def resident(self, page_id: int) -> bool:
         raise NotImplementedError
 
@@ -131,12 +186,16 @@ class LRUBufferPool(BufferPool):
     over the trace.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, eviction_sink: PoolStats | None = None) -> None:
         if capacity <= 0:
             raise ValueError(f"buffer pool capacity must be positive: {capacity}")
         self.capacity = capacity
         self.stats = PoolStats()
         self._pages: OrderedDict[int, None] = OrderedDict()
+        # Evictions recorded here also reach the sink — the partitioned
+        # pool's top-level stats, so child-partition evictions are never
+        # invisible at the aggregate level.
+        self._eviction_sink = eviction_sink
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -164,11 +223,80 @@ class LRUBufferPool(BufferPool):
             self.stats.record_readahead(query_class, fetched)
         return fetched
 
+    def access_many(
+        self, page_ids: Sequence[int] | np.ndarray, query_class: str = ""
+    ) -> int:
+        """Batched :meth:`access` over one execution's demand vector.
+
+        Residency probes, LRU reordering, and eviction run against hoisted
+        locals; hit/miss totals reach :class:`PoolStats` once per batch.
+        """
+        if isinstance(page_ids, np.ndarray):
+            page_ids = page_ids.tolist()
+        pages = self._pages
+        move = pages.move_to_end
+        pop = pages.popitem
+        capacity = self.capacity
+        hits = 0
+        total = 0
+        evicted = 0
+        for page_id in page_ids:
+            total += 1
+            if page_id in pages:
+                move(page_id)
+                hits += 1
+            else:
+                while len(pages) >= capacity:
+                    pop(last=False)
+                    evicted += 1
+                pages[page_id] = None
+        if evicted:
+            self._record_evictions(evicted)
+        self.stats.record_batch(query_class, hits, total - hits)
+        return hits
+
+    def prefetch_many(
+        self, page_ids: Sequence[int] | np.ndarray, query_class: str = ""
+    ) -> int:
+        """Batched :meth:`prefetch` over one execution's read-ahead vector.
+
+        When the vector arrives as an ndarray and the whole candidate set
+        fits without displacing anything, duplicates are stripped with numpy
+        set operations (first occurrence wins) and the survivors are admitted
+        in one pass.  Any batch that could trigger evictions mid-way falls
+        back to the per-page loop, whose interleaving of admissions and
+        evictions is the semantic contract.
+        """
+        if isinstance(page_ids, np.ndarray):
+            if len(page_ids) == 0:
+                return 0
+            unique, first_index = np.unique(page_ids, return_index=True)
+            if len(self._pages) + len(unique) <= self.capacity:
+                pages = self._pages
+                fetched = 0
+                for page_id in page_ids[np.sort(first_index)].tolist():
+                    if page_id not in pages:
+                        pages[page_id] = None
+                        fetched += 1
+                if fetched:
+                    self.stats.record_readahead(query_class, fetched)
+                return fetched
+            page_ids = page_ids.tolist()
+        return self.prefetch(page_ids, query_class)
+
     def _admit(self, page_id: int) -> None:
+        evicted = 0
         while len(self._pages) >= self.capacity:
             self._pages.popitem(last=False)
-            self.stats.evictions += 1
+            evicted += 1
         self._pages[page_id] = None
+        if evicted:
+            self._record_evictions(evicted)
+
+    def _record_evictions(self, count: int) -> None:
+        self.stats.record_eviction(count)
+        if self._eviction_sink is not None:
+            self._eviction_sink.record_eviction(count)
 
     @property
     def total_evictions(self) -> int:
@@ -211,8 +339,12 @@ class PartitionedBufferPool(BufferPool):
         for name, quota in quotas.items():
             if name == self.DEFAULT:
                 raise ValueError("the default partition is sized implicitly")
-            self._partitions[name] = LRUBufferPool(quota)
-        self._partitions[self.DEFAULT] = LRUBufferPool(capacity - reserved)
+            self._partitions[name] = LRUBufferPool(
+                quota, eviction_sink=self.stats
+            )
+        self._partitions[self.DEFAULT] = LRUBufferPool(
+            capacity - reserved, eviction_sink=self.stats
+        )
 
     @property
     def partition_names(self) -> list[str]:
@@ -253,6 +385,22 @@ class PartitionedBufferPool(BufferPool):
             self.stats.record_readahead(query_class, fetched)
         return fetched
 
+    def access_many(
+        self, page_ids: Sequence[int] | np.ndarray, query_class: str = ""
+    ) -> int:
+        """Batched access: one partition lookup and one stats flush per batch."""
+        hits = self._pool_for(query_class).access_many(page_ids, query_class)
+        self.stats.record_batch(query_class, hits, len(page_ids) - hits)
+        return hits
+
+    def prefetch_many(
+        self, page_ids: Sequence[int] | np.ndarray, query_class: str = ""
+    ) -> int:
+        fetched = self._pool_for(query_class).prefetch_many(page_ids, query_class)
+        if fetched:
+            self.stats.record_readahead(query_class, fetched)
+        return fetched
+
     @property
     def total_evictions(self) -> int:
         return sum(pool.stats.evictions for pool in self._partitions.values())
@@ -270,12 +418,24 @@ def replay_trace(
     """Drive ``pool`` with a page trace and return the pool's stats object.
 
     When ``classes`` is given it must parallel ``pages`` and supplies the
-    per-access query-class tag (for interleaved multi-class traces).
+    per-access query-class tag (for interleaved multi-class traces).  The
+    trace runs through the batched access path: single-class traces go down
+    in one call, tagged traces as one batch per run of consecutive
+    same-class accesses, which preserves the exact access interleaving.
     """
     if classes is None:
-        for page_id in pages:
-            pool.access(page_id, query_class)
-    else:
-        for page_id, cls in zip(pages, classes):
-            pool.access(page_id, cls)
+        if not isinstance(pages, (list, np.ndarray)):
+            pages = list(pages)
+        pool.access_many(pages, query_class)
+        return pool.stats
+    run_pages: list[int] = []
+    run_class = ""
+    for page_id, cls in zip(pages, classes):
+        if cls != run_class and run_pages:
+            pool.access_many(run_pages, run_class)
+            run_pages = []
+        run_class = cls
+        run_pages.append(page_id)
+    if run_pages:
+        pool.access_many(run_pages, run_class)
     return pool.stats

@@ -16,8 +16,10 @@ reproduces faithfully.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
+from ..obs import NULL_OBS, Observability
 from .bufferpool import BufferPool
 from .query import QueryClass
 from .statslog import ExecutionRecord
@@ -69,12 +71,33 @@ class CostModel:
 
 
 class QueryExecutor:
-    """Runs query classes against one buffer pool and emits execution records."""
+    """Runs query classes against one buffer pool and emits execution records.
 
-    def __init__(self, pool: BufferPool, cost_model: CostModel | None = None) -> None:
+    Page vectors go through the pool's batched access path in whole-execution
+    units.  When an :class:`~repro.obs.Observability` handle is attached the
+    executor publishes an ``engine.pages_per_sec`` gauge (pages pushed
+    through the pool per second of pool time) and an ``engine.batch_pages``
+    histogram of demand-vector sizes; the default ``NULL_OBS`` handle keeps
+    the hot path free of clock reads and instrument calls.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        cost_model: CostModel | None = None,
+        obs: Observability | None = None,
+        engine_name: str = "",
+    ) -> None:
         self.pool = pool
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.executions = 0
+        self.obs = obs if obs is not None else NULL_OBS
+        labels = {"engine": engine_name} if engine_name else {}
+        registry = self.obs.registry
+        self._batch_hist = registry.histogram("engine.batch_pages", **labels)
+        self._pps_gauge = registry.gauge("engine.pages_per_sec", **labels)
+        self._pool_pages = 0
+        self._pool_seconds = 0.0
 
     def execute(
         self,
@@ -86,22 +109,30 @@ class QueryExecutor:
     ) -> ExecutionRecord:
         """Execute one instance of ``query_class`` and return its record.
 
-        ``record_pages`` controls whether the demand-page list is carried on
-        the record (the statistics log feeds it into the class's recent-access
-        window; disable for bulk replay where windows are not needed).
+        ``record_pages`` controls whether the demand-page vector is carried
+        on the record (the statistics log feeds it into the class's
+        recent-access window; disable for bulk replay where windows are not
+        needed).  The vector is passed through as-is — no tuple copy.
         """
         access = query_class.execute_pages()
         key = query_class.context_key
+        instrumented = self.obs.enabled
+        started = time.perf_counter() if instrumented else 0.0
         # Read-ahead is issued first: it anticipates the demand accesses, so
         # prefetched pages are resident by the time the query touches them.
         readahead_fetches = (
-            self.pool.prefetch(access.prefetch, key) if access.prefetch else 0
+            self.pool.prefetch_many(access.prefetch, key)
+            if len(access.prefetch)
+            else 0
         )
-        hits = 0
-        for page_id in access.demand:
-            if self.pool.access(page_id, key):
-                hits += 1
+        hits = self.pool.access_many(access.demand, key)
         misses = len(access.demand) - hits
+        if instrumented:
+            self._pool_seconds += time.perf_counter() - started
+            self._pool_pages += len(access.demand) + len(access.prefetch)
+            self._batch_hist.observe(len(access.demand))
+            if self._pool_seconds > 0.0:
+                self._pps_gauge.set(self._pool_pages / self._pool_seconds)
         latency = self.cost_model.latency(
             cpu_cost=query_class.cpu_cost,
             hits=hits,
@@ -119,5 +150,5 @@ class QueryExecutor:
             misses=misses,
             readaheads=readahead_fetches,
             io_block_requests=misses + readahead_fetches,
-            pages=tuple(access.demand) if record_pages else (),
+            pages=access.demand if record_pages else (),
         )

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["PAGE_SIZE_BYTES", "pages_for_bytes", "PageRange", "PageSpaceAllocator"]
 
 PAGE_SIZE_BYTES = 16 * 1024
@@ -49,6 +51,16 @@ class PageRange:
                 f"offset {offset} outside range {self.name!r} of {self.count} pages"
             )
         return self.start + offset
+
+    def page_array(self, offsets: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`page`: page ids for a whole offset vector."""
+        if len(offsets) and (
+            int(offsets.min()) < 0 or int(offsets.max()) >= self.count
+        ):
+            raise IndexError(
+                f"offsets outside range {self.name!r} of {self.count} pages"
+            )
+        return self.start + offsets.astype(np.int64, copy=False)
 
     def contains(self, page_id: int) -> bool:
         return self.start <= page_id < self.end

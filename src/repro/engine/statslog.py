@@ -17,7 +17,10 @@ This module reproduces that pipeline:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..sim.trace import AccessWindow
 
@@ -35,7 +38,7 @@ class ExecutionRecord:
     misses: int
     readaheads: int
     io_block_requests: int
-    pages: tuple[int, ...] = ()
+    pages: Sequence[int] = ()
     lock_waits: int = 0
     lock_wait_time: float = 0.0
 
@@ -141,10 +144,13 @@ class EngineLog:
             stats.absorb(record)
         self.records_ingested += len(records)
 
-    def record_window(self, context_key: str, pages: tuple[int, ...]) -> None:
+    def record_window(
+        self, context_key: str, pages: Sequence[int] | np.ndarray
+    ) -> None:
         """Append one execution's demand pages to the context's window, in
-        true execution order."""
-        if pages:
+        true execution order.  Accepts any page vector — list, tuple, or
+        ndarray — and hands it to the window in one call."""
+        if len(pages):
             self.window_for(context_key).record_many(pages)
 
     def window_for(self, context_key: str) -> AccessWindow:

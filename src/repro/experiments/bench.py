@@ -39,6 +39,7 @@ __all__ = [
     "BaselineComparison",
     "DEFAULT_BASELINE_DIR",
     "run_bench",
+    "run_bench_profiled",
     "artefact_lines",
     "artefact_digest",
     "baseline_path",
@@ -300,6 +301,39 @@ def _timed_scenario(name: str) -> dict:
     }
 
 
+def run_bench_profiled(
+    names: list[str], top: int = 15
+) -> tuple[list[BenchRun], dict[str, str]]:
+    """Run scenarios serially under ``cProfile``; also return report text.
+
+    Per scenario the report holds the ``top`` entries sorted by cumulative
+    time — the view that finds the hot path across the engine stack.  The
+    artefacts are the same as an unprofiled run (scenarios are seeded);
+    only the timings carry profiler overhead, so ``--check`` timing ratios
+    are not meaningful under ``--profile``.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    runs: list[BenchRun] = []
+    reports: dict[str, str] = {}
+    for name in names:
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.enable()
+        artefact = to_jsonable(BENCH_SCENARIOS[name]())
+        profiler.disable()
+        seconds = time.perf_counter() - start
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats(
+            "cumulative"
+        ).print_stats(top)
+        runs.append(BenchRun(name=name, artefact=artefact, seconds=seconds))
+        reports[name] = stream.getvalue()
+    return runs, reports
+
+
 def resolve_names(only: str | None = None) -> list[str]:
     """The scenario subset a ``--only a,b,c`` selector names (all when
     empty), in registry order, with unknown names rejected."""
@@ -509,6 +543,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fresh-dir", type=str, default=None,
                         help="also write this run's BENCH_<name>.json here "
                              "(e.g. for upload as a CI artifact)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each scenario under cProfile (serial) and "
+                             "print the hottest functions by cumulative "
+                             "time; timings include profiler overhead")
+    parser.add_argument("--profile-top", type=int, default=15, metavar="N",
+                        help="rows per scenario in the --profile report "
+                             "(default: %(default)s)")
     parser.add_argument("--list", action="store_true", dest="list_scenarios",
                         help="list the registered scenarios and exit")
 
@@ -527,7 +568,17 @@ def run_bench_command(args: argparse.Namespace) -> int:
         print(f"repro bench: {error.args[0]}")
         return 2
     workers = getattr(args, "parallel", None)
-    runs = run_bench(names, workers=workers)
+    profiling = bool(getattr(args, "profile", False))
+    profiles: dict[str, str] = {}
+    if profiling:
+        if workers and workers > 1:
+            print("repro bench: --profile runs serially; ignoring --parallel")
+            workers = None
+        runs, profiles = run_bench_profiled(
+            names, top=max(1, int(getattr(args, "profile_top", 15)))
+        )
+    else:
+        runs = run_bench(names, workers=workers)
 
     baseline_dir = Path(getattr(args, "baseline_dir", DEFAULT_BASELINE_DIR))
     check = bool(getattr(args, "check", False))
@@ -585,6 +636,11 @@ def run_bench_command(args: argparse.Namespace) -> int:
         )
     print(table.render())
     print(f"\nartefact digest: {artefact_digest(runs)}")
+
+    for name in names:
+        if name in profiles:
+            print(f"\n--- profile: {name} (cumulative) ---")
+            print(profiles[name].rstrip())
 
     if getattr(args, "write_baselines", False):
         for run in runs:

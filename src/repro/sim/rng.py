@@ -53,6 +53,17 @@ class RandomStream:
         """A uniform integer in ``[low, high)``."""
         return int(self._rng.integers(low, high))
 
+    def integers_array(self, low: int, high: int, count: int) -> np.ndarray:
+        """``count`` uniform integers in ``[low, high)`` as an int64 array.
+
+        numpy's batched draw consumes the bit stream exactly as ``count``
+        scalar :meth:`integers` calls would, so callers can vectorise the
+        hot path without perturbing any seeded sequence.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative: {count}")
+        return self._rng.integers(low, high, size=count)
+
     def choice(self, items: Sequence, weights: Sequence[float] | None = None):
         """Pick one element, optionally with (unnormalised) weights."""
         if weights is None:

@@ -111,9 +111,19 @@ class AccessWindow:
         self._buffer.append(int(page_id))
         self._total_seen += 1
 
-    def record_many(self, page_ids: Iterable[int]) -> None:
-        for page_id in page_ids:
-            self.record(page_id)
+    def record_many(self, page_ids: Iterable[int] | np.ndarray) -> None:
+        """Append a whole page vector in one deque extend.
+
+        ``deque.extend`` with ``maxlen`` drops the oldest entries exactly as
+        repeated appends would, so this is equivalent to :meth:`record` per
+        page at a fraction of the cost; ndarrays are converted once.
+        """
+        if isinstance(page_ids, np.ndarray):
+            page_ids = page_ids.tolist()
+        elif not isinstance(page_ids, (list, tuple)):
+            page_ids = [int(page_id) for page_id in page_ids]
+        self._buffer.extend(page_ids)
+        self._total_seen += len(page_ids)
 
     def snapshot(self) -> np.ndarray:
         """The window contents, oldest first, as an int64 array."""

@@ -1,0 +1,165 @@
+"""Differential properties: batched pool paths vs the per-page loop.
+
+The batched fast path (``access_many`` / ``prefetch_many``) promises to be
+*bit-exact* with per-page ``access`` / ``prefetch`` calls: identical hit
+returns, identical :class:`PoolStats` (global and per class), identical LRU
+order, identical eviction counts — for both pool organisations, under
+interleaved multi-class traffic, ndarray or list inputs, and mid-trace
+partition reassignment.  These properties are the contract that lets every
+engine-level caller switch to the batched path without re-validating the
+simulation.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.bufferpool import (
+    LRUBufferPool,
+    PartitionedBufferPool,
+    PoolStats,
+    replay_trace,
+)
+
+CLASSES = ["alpha", "beta", "gamma"]
+
+batch_op = st.tuples(
+    st.sampled_from(["access", "prefetch"]),
+    st.sampled_from(CLASSES),
+    st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=20),
+)
+batch_ops = st.lists(batch_op, min_size=1, max_size=15)
+
+
+def stats_fields(stats: PoolStats) -> dict:
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "readaheads": stats.readaheads,
+        "evictions": stats.evictions,
+        "per_class": stats.per_class,
+    }
+
+
+def apply_per_page(pool, kind, cls, pages):
+    if kind == "access":
+        return sum(pool.access(page, cls) for page in pages)
+    return pool.prefetch(pages, cls)
+
+
+def apply_batched(pool, kind, cls, pages, as_array):
+    vector = np.asarray(pages, dtype=np.int64) if as_array else list(pages)
+    if kind == "access":
+        return pool.access_many(vector, cls)
+    return pool.prefetch_many(vector, cls)
+
+
+@given(ops=batch_ops, capacity=st.integers(1, 12), as_array=st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_lru_batched_matches_per_page(ops, capacity, as_array):
+    base = LRUBufferPool(capacity)
+    fast = LRUBufferPool(capacity)
+    for kind, cls, pages in ops:
+        expected = apply_per_page(base, kind, cls, pages)
+        got = apply_batched(fast, kind, cls, pages, as_array)
+        assert got == expected
+    assert fast.lru_order() == base.lru_order()
+    assert fast.total_evictions == base.total_evictions
+    assert stats_fields(fast.stats) == stats_fields(base.stats)
+
+
+@given(
+    ops=batch_ops,
+    capacity=st.integers(4, 16),
+    quota=st.integers(1, 3),
+    assignments=st.lists(
+        st.tuples(st.sampled_from(CLASSES), st.sampled_from(["hog", "default"])),
+        max_size=4,
+    ),
+    as_array=st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_partitioned_batched_matches_per_page(
+    ops, capacity, quota, assignments, as_array
+):
+    """Same differential under quota partitioning, with the assignment map
+    mutating mid-trace (one reassignment before every ceil(n/k)-th batch)."""
+    base = PartitionedBufferPool(capacity, quotas={"hog": quota})
+    fast = PartitionedBufferPool(capacity, quotas={"hog": quota})
+    reassign_every = max(1, len(ops) // max(1, len(assignments))) if assignments else 0
+    next_assignment = 0
+    for index, (kind, cls, pages) in enumerate(ops):
+        if assignments and index % reassign_every == 0 and next_assignment < len(
+            assignments
+        ):
+            moved_cls, partition = assignments[next_assignment]
+            next_assignment += 1
+            base.assign(moved_cls, partition)
+            fast.assign(moved_cls, partition)
+        expected = apply_per_page(base, kind, cls, pages)
+        got = apply_batched(fast, kind, cls, pages, as_array)
+        assert got == expected
+    assert len(fast) == len(base)
+    assert fast.total_evictions == base.total_evictions
+    assert stats_fields(fast.stats) == stats_fields(base.stats)
+    for name in base.partition_names:
+        # Private access: the per-partition LRU order is the strongest
+        # equivalence there is, and no public API exposes it.
+        assert fast._partitions[name].lru_order() == base._partitions[name].lru_order()
+        assert stats_fields(fast.partition_stats(name)) == stats_fields(
+            base.partition_stats(name)
+        )
+
+
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=25), min_size=0, max_size=120),
+    capacity=st.integers(1, 10),
+    tagged=st.booleans(),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_replay_trace_matches_per_page(trace, capacity, tagged, seed):
+    """``replay_trace`` (which batches runs of same-class accesses) is
+    equivalent to the naive per-page loop, tagged or untagged."""
+    rng = np.random.default_rng(seed)
+    classes = (
+        [CLASSES[int(i)] for i in rng.integers(0, len(CLASSES), size=len(trace))]
+        if tagged
+        else None
+    )
+    base = LRUBufferPool(capacity)
+    if classes is None:
+        for page in trace:
+            base.access(page, "q")
+    else:
+        for page, cls in zip(trace, classes):
+            base.access(page, cls)
+    fast = LRUBufferPool(capacity)
+    replay_trace(fast, list(trace), query_class="q", classes=classes)
+    assert fast.lru_order() == base.lru_order()
+    assert stats_fields(fast.stats) == stats_fields(base.stats)
+
+
+@given(
+    before=st.lists(st.integers(min_value=0, max_value=20), max_size=40),
+    after=st.lists(st.integers(min_value=0, max_value=20), max_size=40),
+    cap_before=st.integers(1, 8),
+    cap_after=st.integers(1, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_batched_equivalence_survives_pool_rebuild(
+    before, after, cap_before, cap_after
+):
+    """A resize (modelled as the engine does it: a cold rebuild at the new
+    capacity) preserves the batched/per-page equivalence on both sides."""
+    base = LRUBufferPool(cap_before)
+    fast = LRUBufferPool(cap_before)
+    for page in before:
+        base.access(page, "q")
+    fast.access_many(before, "q")
+    base = LRUBufferPool(cap_after)
+    fast = LRUBufferPool(cap_after)
+    for page in after:
+        base.access(page, "q")
+    fast.access_many(np.asarray(after, dtype=np.int64), "q")
+    assert fast.lru_order() == base.lru_order()
+    assert stats_fields(fast.stats) == stats_fields(base.stats)

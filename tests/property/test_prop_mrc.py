@@ -4,9 +4,10 @@ The central invariant: Mattson's single-pass prediction must agree exactly
 with an actual LRU buffer pool at every capacity, for any trace.
 """
 
+import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.core.mrc import MissRatioCurve, stack_distances
+from repro.core.mrc import MissRatioCurve, stack_distances, stack_distances_fenwick
 from repro.engine.bufferpool import LRUBufferPool
 
 traces = st.lists(st.integers(min_value=0, max_value=25), min_size=0, max_size=300)
@@ -50,6 +51,14 @@ def test_distances_bounded_by_distinct_pages(trace):
     distances = stack_distances(trace)
     bound = len(set(trace))
     assert all(0 <= d <= bound for d in distances)
+
+
+@given(trace=traces)
+@settings(max_examples=100, deadline=None)
+def test_vectorised_distances_match_fenwick_reference(trace):
+    """The vectorised stack-distance path is bit-exact with the classical
+    per-element Fenwick-tree formulation on any trace."""
+    assert np.array_equal(stack_distances(trace), stack_distances_fenwick(trace))
 
 
 @given(trace=traces)

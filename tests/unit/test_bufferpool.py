@@ -1,5 +1,6 @@
 """Unit tests for the LRU and quota-partitioned buffer pools."""
 
+import numpy as np
 import pytest
 
 from repro.engine.bufferpool import (
@@ -237,3 +238,108 @@ class TestEvictionCounters:
         for page in (1, 2, 3, 4, 5):
             pool.access(page, "other")
         assert pool.total_evictions == 2
+
+
+class _EvictionSpyStats(PoolStats):
+    """PoolStats that counts how evictions were reported to it."""
+
+    def __init__(self):
+        super().__init__()
+        self.record_eviction_calls = 0
+
+    def record_eviction(self, count=1):
+        self.record_eviction_calls += 1
+        super().record_eviction(count)
+
+
+class TestEvictionAccounting:
+    """Regression: every eviction flows through ``record_eviction`` and
+    child-partition evictions reach the partitioned pool's top-level stats."""
+
+    def test_admit_routes_through_record_eviction(self):
+        pool = LRUBufferPool(2)
+        pool.stats = _EvictionSpyStats()
+        for page in (1, 2, 3, 4):
+            pool.access(page)
+        assert pool.stats.record_eviction_calls > 0
+        assert pool.stats.evictions == 2
+
+    def test_batched_access_routes_through_record_eviction(self):
+        pool = LRUBufferPool(2)
+        pool.stats = _EvictionSpyStats()
+        pool.access_many([1, 2, 3, 4, 5])
+        assert pool.stats.record_eviction_calls > 0
+        assert pool.stats.evictions == 3
+
+    def test_partitioned_child_evictions_reach_top_level_stats(self):
+        pool = PartitionedBufferPool(6, quotas={"hog": 2})
+        pool.assign("scan", "hog")
+        for page in range(5):
+            pool.access(page, "scan")
+        for page in range(100, 106):
+            pool.access(page, "other")
+        assert pool.stats.evictions > 0
+        assert pool.stats.evictions == pool.total_evictions
+
+    def test_partitioned_batched_evictions_reach_top_level_stats(self):
+        pool = PartitionedBufferPool(6, quotas={"hog": 2})
+        pool.assign("scan", "hog")
+        pool.access_many(list(range(5)), "scan")
+        assert pool.stats.evictions == pool.total_evictions == 3
+
+    def test_partitioned_prefetch_evictions_reach_top_level_stats(self):
+        pool = PartitionedBufferPool(6, quotas={"hog": 2})
+        pool.assign("scan", "hog")
+        pool.prefetch([1, 2, 3, 4], "scan")
+        assert pool.stats.evictions == pool.total_evictions == 2
+
+
+class TestBatchedAccess:
+    def test_access_many_returns_hit_count(self):
+        pool = LRUBufferPool(4)
+        assert pool.access_many([1, 2, 1, 2, 3]) == 2
+
+    def test_access_many_accepts_ndarray(self):
+        pool = LRUBufferPool(4)
+        hits = pool.access_many(np.asarray([1, 2, 1], dtype=np.int64))
+        assert hits == 1
+        assert pool.lru_order() == [2, 1]
+
+    def test_access_many_updates_per_class_stats(self):
+        pool = LRUBufferPool(4)
+        pool.access_many([1, 2, 1], "q")
+        assert pool.stats.per_class["q"] == {
+            "hits": 1, "misses": 2, "readaheads": 0,
+        }
+
+    def test_record_batch_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            PoolStats().record_batch("q", hits=-1, misses=0)
+
+    def test_prefetch_many_ndarray_dedups_first_occurrence(self):
+        pool = LRUBufferPool(8)
+        fetched = pool.prefetch_many(np.asarray([5, 3, 5, 3, 7]), "q")
+        assert fetched == 3
+        assert pool.lru_order() == [5, 3, 7]
+        assert pool.stats.readaheads == 3
+
+    def test_prefetch_many_overflow_matches_per_page_loop(self):
+        # Duplicates spanning an eviction: the numpy dedup fast path must
+        # not engage, because the second occurrence of 1 re-fetches it.
+        vector = [1, 2, 3, 1]
+        fast = LRUBufferPool(2)
+        fast.prefetch_many(np.asarray(vector), "q")
+        slow = LRUBufferPool(2)
+        slow.prefetch(vector, "q")
+        assert fast.lru_order() == slow.lru_order()
+        assert fast.stats.readaheads == slow.stats.readaheads
+        assert fast.total_evictions == slow.total_evictions
+
+    def test_partitioned_access_many_routes_and_aggregates(self):
+        pool = PartitionedBufferPool(6, quotas={"hog": 2})
+        pool.assign("scan", "hog")
+        pool.access_many([1, 2, 1], "scan")
+        pool.access_many([9], "other")
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 3
+        assert pool.partition_stats("hog").misses == 2

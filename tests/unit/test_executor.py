@@ -6,6 +6,7 @@ from repro.engine.access import AccessPattern, ExecutionAccess
 from repro.engine.bufferpool import LRUBufferPool
 from repro.engine.executor import CostModel, QueryExecutor
 from repro.engine.query import QueryClass
+from repro.obs import NULL_OBS, Observability
 
 
 class _ScriptedPattern(AccessPattern):
@@ -94,14 +95,16 @@ class TestQueryExecutor:
         assert loaded.latency > quiet.latency
 
     def test_record_pages_carried_by_default(self):
+        # The demand vector rides on the record as-is (no tuple copy); the
+        # contract is the page sequence, not the container type.
         executor = QueryExecutor(LRUBufferPool(10))
         record = executor.execute(make_class([1, 2]))
-        assert record.pages == (1, 2)
+        assert list(record.pages) == [1, 2]
 
     def test_record_pages_suppressible(self):
         executor = QueryExecutor(LRUBufferPool(10))
         record = executor.execute(make_class([1, 2]), record_pages=False)
-        assert record.pages == ()
+        assert len(record.pages) == 0
 
     def test_execution_counter(self):
         executor = QueryExecutor(LRUBufferPool(10))
@@ -112,3 +115,27 @@ class TestQueryExecutor:
     def test_context_key_on_record(self):
         executor = QueryExecutor(LRUBufferPool(10))
         assert executor.execute(make_class([1])).context_key == "app/q"
+
+
+class TestExecutorMetrics:
+    def test_defaults_to_null_obs(self):
+        assert QueryExecutor(LRUBufferPool(10)).obs is NULL_OBS
+
+    def test_pages_per_sec_gauge_and_batch_histogram(self):
+        obs = Observability()
+        executor = QueryExecutor(LRUBufferPool(10), obs=obs, engine_name="e0")
+        executor.execute(make_class([1, 2, 3], prefetch=[4]))
+        gauge = obs.registry.gauge("engine.pages_per_sec", engine="e0")
+        hist = obs.registry.histogram("engine.batch_pages", engine="e0")
+        assert gauge.value > 0.0
+        assert hist.count == 1
+        assert hist.sum == 3  # demand-vector size; prefetch not in the histogram
+
+    def test_batch_histogram_counts_every_execution(self):
+        obs = Observability()
+        executor = QueryExecutor(LRUBufferPool(10), obs=obs)
+        for _ in range(3):
+            executor.execute(make_class([1, 2]))
+        hist = obs.registry.histogram("engine.batch_pages")
+        assert hist.count == 3
+        assert hist.sum == 6
