@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Chaos smoke: the fault-injection storm keeps its degradation contract.
+
+Runs the ``chaos_failover`` registry scenario (replica crash + recovery,
+I/O slowdown ramp, write-propagation stall, stats gap, metric corruption
+against a two-replica TPC-W cluster) and asserts:
+
+1. **artefact unchanged** — the scenario's artefact matches the committed
+   ``BENCH_chaos_failover.json`` byte-for-byte in the registry's canonical
+   comparison (drift is a hard failure, exactly as in ``perf_smoke.py``);
+2. **degradation invariants** — the properties the fault subsystem exists
+   to provide hold regardless of what the baseline says:
+
+   * the crashed replica is routed around within one measurement interval,
+   * every injected stats fault quarantined a window, and no retuning
+     action was emitted from a quarantined interval,
+   * the SLA recovers within a bounded number of intervals of the replica
+     rejoining, and is met at the end of the run,
+   * every plan event found its target (no silently dropped faults).
+
+Run from the repo root (CI runs it in the bench-baseline job)::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.export import to_jsonable  # noqa: E402
+from repro.experiments.bench import (  # noqa: E402
+    BENCH_SCENARIOS,
+    BenchRun,
+    compare_with_baseline,
+    load_baseline,
+)
+
+SCENARIO = "chaos_failover"
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+MAX_REROUTE_INTERVALS = 1
+MAX_SLA_RECOVERY_INTERVALS = 3
+
+
+def main() -> int:
+    start = time.perf_counter()
+    artefact = to_jsonable(BENCH_SCENARIOS[SCENARIO]())
+    seconds = time.perf_counter() - start
+
+    failures: list[str] = []
+
+    baseline = load_baseline(BASELINE_DIR, SCENARIO)
+    if baseline is None:
+        failures.append(f"no committed baseline for {SCENARIO}")
+    else:
+        run = BenchRun(name=SCENARIO, artefact=artefact, seconds=seconds)
+        comparison = compare_with_baseline(run, baseline)
+        if not comparison.artefact_ok:
+            drift = "; ".join(comparison.drift[:5])
+            failures.append(f"artefact drift vs baseline: {drift}")
+
+    reroute = artefact["reroute_intervals"]
+    if not 0 <= reroute <= MAX_REROUTE_INTERVALS:
+        failures.append(
+            f"crashed replica not routed around within "
+            f"{MAX_REROUTE_INTERVALS} interval(s): {reroute}"
+        )
+    if artefact["quarantined_intervals"] < 2:
+        failures.append(
+            "stats gap + metric corruption should quarantine two windows, "
+            f"got {artefact['quarantined_intervals']}"
+        )
+    if artefact["actions_during_quarantine"] != 0:
+        failures.append(
+            "controller emitted retuning actions from quarantined windows: "
+            f"{artefact['actions_during_quarantine']}"
+        )
+    if artefact["violating_degraded_intervals"] < 1:
+        failures.append(
+            "the storm no longer produces a violating+degraded interval, so "
+            "the refusal path went unexercised"
+        )
+    recovery = artefact["sla_recovery_intervals"]
+    if not 0 <= recovery <= MAX_SLA_RECOVERY_INTERVALS:
+        failures.append(
+            f"SLA not recovered within {MAX_SLA_RECOVERY_INTERVALS} "
+            f"interval(s) of the replica rejoining: {recovery}"
+        )
+    if not artefact["sla_met_at_end"]:
+        failures.append("SLA not met at the end of the run")
+    if artefact["unmatched_faults"] != 0:
+        failures.append(
+            f"{artefact['unmatched_faults']} fault event(s) found no target"
+        )
+
+    print(f"chaos smoke: {SCENARIO} in {seconds:.3f}s")
+    print(f"  reroute intervals:            {reroute}")
+    print(f"  quarantined windows:          {artefact['quarantined_intervals']}")
+    print(f"  actions during quarantine:    {artefact['actions_during_quarantine']}")
+    print(f"  SLA recovery intervals:       {recovery}")
+    print(f"  stale pending writes dropped: {artefact['pending_stale_dropped']}")
+    for failure in failures:
+        print(f"FAILURE: {failure}")
+    if not failures:
+        print("chaos smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -230,6 +230,53 @@ def _obs(args) -> int:
     return 0
 
 
+def _chaos(args) -> int:
+    """``repro chaos`` — the fault-injection storm and its degraded modes."""
+    from .experiments.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig()
+    if args.intervals:
+        config = ChaosConfig(intervals=args.intervals)
+    if args.clients:
+        config = ChaosConfig(intervals=config.intervals, clients=args.clients)
+    result = run_chaos(config)
+    print(
+        format_series(
+            "Chaos — mean latency (crash at t=125, recovery at t=205)",
+            result.latency_series,
+            x_label="t (s)",
+            y_label="latency",
+        )
+    )
+    table = Table(
+        title="fault reactions",
+        headers=["measure", "value"],
+    )
+    table.add_row("re-route intervals after crash", str(result.reroute_intervals))
+    table.add_row("quarantined windows", str(result.quarantined_intervals))
+    table.add_row(
+        "violating+degraded intervals", str(result.violating_degraded_intervals)
+    )
+    table.add_row(
+        "actions during quarantine", str(result.actions_during_quarantine)
+    )
+    table.add_row(
+        "SLA violations during outage", str(result.violations_during_outage)
+    )
+    table.add_row(
+        "intervals to SLA recovery", str(result.sla_recovery_intervals)
+    )
+    table.add_row(
+        "stale pending writes dropped", str(result.pending_stale_dropped)
+    )
+    print(table.render())
+    print(f"\nfaults injected: {result.faults_injected}")
+    print(f"final latency: {result.final_latency:.3f} s "
+          f"(SLA {result.sla_latency:.1f} s, "
+          f"met at end: {result.sla_met_at_end()})")
+    return 0
+
+
 def _bench(args) -> int:
     """``repro bench`` — run the benchmark scenario registry.
 
@@ -268,6 +315,7 @@ _COMMANDS = {
     "table2": (_table2, "shared-pool memory contention (TPC-W + RUBiS)"),
     "table3": (_table3, "Xen dom0 I/O contention (two RUBiS domains)"),
     "locks": (_locks, "lock-contention anomaly (the paper's future work)"),
+    "chaos": (_chaos, "fault-injection storm: failover, quarantine, recovery"),
     "obs": (_obs, "telemetry: span timings, recomputations, actions"),
     "bench": (_bench, "benchmark scenarios: run, time, check baselines"),
     "all": (_all, "run every artefact in order"),

@@ -70,6 +70,18 @@ class ReplicationState:
             )
         self.watermarks[replica_name] = token.sequence
 
+    def has_applied(self, replica_name: str, sequence: int) -> bool:
+        """Whether the replica has already applied write ``sequence``.
+
+        Used to detect *stale* propagation-queue entries: a replica that
+        failed and was caught up from the write log has applied writes that
+        may still sit in the scheduler's pending queue, and re-executing
+        them would break the in-order invariant.
+        """
+        if replica_name not in self.watermarks:
+            raise KeyError(f"unknown replica {replica_name!r}")
+        return self.watermarks[replica_name] >= sequence
+
     def is_current(self, replica_name: str) -> bool:
         """Whether the replica has applied every committed write."""
         if replica_name not in self.watermarks:

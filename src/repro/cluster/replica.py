@@ -19,7 +19,16 @@ from ..engine.executor import CostModel
 from ..engine.query import QueryClass
 from ..engine.statslog import ExecutionRecord
 
-__all__ = ["Host", "Replica"]
+__all__ = ["Host", "Replica", "ReplicaOfflineError"]
+
+
+class ReplicaOfflineError(RuntimeError):
+    """An execution was routed to a replica that is (silently) offline.
+
+    Subclasses :class:`RuntimeError` so callers that treated the old
+    generic error keep working; the scheduler catches this specifically to
+    drive its mark-down and retry-with-backoff reaction.
+    """
 
 
 @runtime_checkable
@@ -76,7 +85,7 @@ class Replica:
     def execute(self, query_class: QueryClass, timestamp: float) -> ExecutionRecord:
         """Run one query here, charging demand to the host."""
         if not self.online:
-            raise RuntimeError(f"replica {self.name!r} is offline")
+            raise ReplicaOfflineError(f"replica {self.name!r} is offline")
         record = self.engine.execute(
             query_class,
             timestamp=timestamp,
@@ -97,11 +106,24 @@ class Replica:
         self.applied_writes = sequence
 
     def fail(self) -> None:
-        """Take the replica offline (failure injection for tests)."""
+        """Take the replica offline (failure injection)."""
         self.online = False
 
-    def recover(self) -> None:
+    def recover(self, reset_pool: bool = True) -> None:
+        """Bring the replica back online.
+
+        By default the engine's buffer pool (and its :class:`PoolStats`)
+        restart **cold**: a crashed machine's memory did not survive, so
+        post-failure miss-ratio windows must begin from an empty pool —
+        the paper's cold-partition assumption.  Pass ``reset_pool=False``
+        only to model a transient network partition where the DBMS process
+        itself never died.  Note that co-located applications sharing this
+        engine lose their cached pages too, which is exactly what a
+        machine-level failure does.
+        """
         self.online = True
+        if reset_pool:
+            self.engine.reset_pool()
 
     def __repr__(self) -> str:
         state = "online" if self.online else "OFFLINE"

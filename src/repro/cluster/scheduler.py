@@ -14,13 +14,14 @@ database tier (paper Figure 2).  It
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..engine.query import QueryClass
 from ..engine.statslog import ExecutionRecord
 from ..obs import NULL_OBS
 from .consistency import ReplicationState
-from .replica import Replica
+from .health import ReplicaHealth
+from .replica import Replica, ReplicaOfflineError
 
 __all__ = ["AppIntervalMetrics", "Scheduler"]
 
@@ -85,12 +86,20 @@ class Scheduler:
         async_replication: bool = False,
         propagation_delay: float = 0.05,
         read_policy: str = "round_robin",
+        retry_budget: int = 2,
+        retry_backoff: float = 0.05,
     ) -> None:
         if sla_latency <= 0:
             raise ValueError(f"SLA latency must be positive: {sla_latency}")
         if propagation_delay < 0:
             raise ValueError(
                 f"propagation delay must be non-negative: {propagation_delay}"
+            )
+        if retry_budget < 0:
+            raise ValueError(f"retry budget must be non-negative: {retry_budget}")
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry backoff must be non-negative: {retry_backoff}"
             )
         if read_policy not in self.READ_POLICIES:
             raise ValueError(
@@ -108,6 +117,18 @@ class Scheduler:
         self.propagation_delay = propagation_delay
         self.replicas: dict[str, Replica] = {}
         self.replication = ReplicationState(app=app)
+        # Failure handling: the scheduler's *belief* about replica health
+        # (failures are silent; the first failed execution marks a replica
+        # down), plus a bounded retry budget with exponential backoff for
+        # executions caught in-flight by a crash.
+        self.health = ReplicaHealth()
+        self.retry_budget = retry_budget
+        self.retry_backoff = retry_backoff
+        # Asynchronous write propagation can be stalled by fault injection;
+        # drain_pending applies nothing before this simulated instant.
+        self.propagation_stalled_until = 0.0
+        self.pending_stale_dropped_total = 0
+        self._health_gauge_live = False
         self._placement: dict[str, set[str]] = {}
         self._round_robin: dict[str, int] = {}
         self._interval_index = 0
@@ -148,6 +169,7 @@ class Scheduler:
         replica = self.replicas.pop(replica_name)
         self.replication.remove_replica(replica_name)
         self._pending.pop(replica_name, None)
+        self.health.forget(replica_name)
         for context_key in list(self._placement):
             targets = self._placement[context_key]
             targets.discard(replica_name)
@@ -224,23 +246,81 @@ class Scheduler:
         return record
 
     def _submit_read(self, query_class: QueryClass, timestamp: float) -> ExecutionRecord:
+        """Route one read, retrying with backoff when a replica fails mid-flight.
+
+        Failures are silent: routing trusts the health belief state, so the
+        first read sent to a freshly crashed replica fails, marks it down
+        (re-routing every class away from it at once) and retries elsewhere
+        after an exponential backoff that the client observes as latency.
+        The retry budget bounds how long a read chases failing replicas
+        before the failure surfaces to the application.
+        """
         key = query_class.context_key
+        delay = 0.0
+        failures = 0
+        while True:
+            target = self._route_read(key)
+            if target is None:
+                raise RuntimeError(
+                    f"no current online replica for class {key!r} of app {self.app!r}"
+                )
+            try:
+                record = self.replicas[target].execute(query_class, timestamp + delay)
+            except ReplicaOfflineError:
+                self.mark_down(target, timestamp + delay, reason="read-failed")
+                failures += 1
+                registry = self.obs.registry
+                if registry.enabled:
+                    registry.counter("scheduler.read_retries", app=self.app).inc()
+                if failures > self.retry_budget:
+                    if registry.enabled:
+                        registry.counter(
+                            "scheduler.retry_budget_exhausted", app=self.app
+                        ).inc()
+                    raise RuntimeError(
+                        f"read of {key!r} for app {self.app!r} failed "
+                        f"{failures} times; retry budget of "
+                        f"{self.retry_budget} exhausted"
+                    ) from None
+                delay += self.retry_backoff * (2 ** (failures - 1))
+                continue
+            if delay:
+                record = replace(record, latency=record.latency + delay)
+            return record
+
+    def _route_read(self, key: str) -> str | None:
+        """Pick the replica for one read of class ``key`` (``None`` = nowhere).
+
+        Eligibility is belief-based (:class:`ReplicaHealth`), not ground
+        truth: a silently crashed replica keeps receiving reads until the
+        first failure marks it down.  A class whose pinned placement has no
+        usable replica fails over to the full replica set rather than stall.
+        """
         eligible = [
             name
             for name in self.placement_of(key)
-            if self.replication.is_current(name) and self.replicas[name].online
+            if self.replication.is_current(name) and self.health.is_up(name)
         ]
+        if not eligible and self._placement.get(key):
+            eligible = [
+                name
+                for name in self.replica_names()
+                if self.replication.is_current(name) and self.health.is_up(name)
+            ]
+            if eligible:
+                registry = self.obs.registry
+                if registry.enabled:
+                    registry.counter(
+                        "scheduler.failovers", app=self.app, context=key
+                    ).inc()
         if not eligible:
-            raise RuntimeError(
-                f"no current online replica for class {key!r} of app {self.app!r}"
-            )
+            return None
         if self.read_policy == "least_loaded" and len(eligible) > 1:
-            target = min(eligible, key=self._host_load)
-        else:
-            cursor = self._round_robin.get(key, 0)
-            target = eligible[cursor % len(eligible)]
-            self._round_robin[key] = cursor + 1
-        return self.replicas[target].execute(query_class, timestamp)
+            return min(eligible, key=self._host_load)
+        cursor = self._round_robin.get(key, 0)
+        target = eligible[cursor % len(eligible)]
+        self._round_robin[key] = cursor + 1
+        return target
 
     def _host_load(self, replica_name: str) -> tuple[float, str]:
         """Smoothed CPU + I/O utilisation of a replica's host (for routing).
@@ -259,6 +339,7 @@ class Scheduler:
         for name in self.replica_names():
             replica = self.replicas[name]
             if not replica.online:
+                self.mark_down(name, timestamp, reason="write-skipped")
                 continue
             if self.replication.watermarks[name] != token.sequence - 1:
                 # A recovered-but-lagging replica cannot take this write in
@@ -310,7 +391,16 @@ class Scheduler:
         names = self.replica_names()
         primary_cursor = self._round_robin.get("__writes__", 0)
         self._round_robin["__writes__"] = primary_cursor + 1
-        online = [name for name in names if self.replicas[name].online]
+        online = []
+        for name in names:
+            if self.replicas[name].online:
+                online.append(name)
+            else:
+                # In async mode a crashed replica can drop out of the read
+                # set through its frozen watermark before any read fails
+                # against it; the write path is where the scheduler first
+                # *notices*, so the mark-down happens here.
+                self.mark_down(name, timestamp, reason="write-skipped")
         if not online:
             raise RuntimeError(f"write lost: no online replica for {self.app!r}")
         primary = online[primary_cursor % len(online)]
@@ -334,26 +424,87 @@ class Scheduler:
             )
         return record
 
+    def stall_propagation(self, until: float) -> None:
+        """Hold back asynchronous write application until ``until``.
+
+        Fault injection uses this to model a propagation stall: queued
+        writes stay queued, lagging replicas stay out of the read set, and
+        the backlog drains (in order) once the stall lifts.
+        """
+        self.propagation_stalled_until = max(self.propagation_stalled_until, until)
+
     def drain_pending(self, now: float) -> int:
         """Apply every queued asynchronous write due by ``now`` (in order).
 
         Returns the number of writes applied.  Applications are strictly
         in sequence per replica: a due write behind a not-yet-due one waits
-        (the propagation stream is FIFO).
+        (the propagation stream is FIFO).  Two failure cases are handled
+        per entry: a write already applied through recovery catch-up is
+        dropped as stale (catch-up replays from the write log, so the
+        queued copy must not re-execute), and a replica that failed between
+        enqueue and apply defers its whole stream until recovery.
         """
+        if now < self.propagation_stalled_until:
+            return 0
         applied = 0
+        dropped = 0
         for name in self.replica_names():
             queue = self._pending.get(name)
             if not queue:
                 continue
             replica = self.replicas[name]
-            while queue and queue[0][0] <= now and replica.online:
-                apply_time, token, query_class = queue.pop(0)
+            while queue and queue[0][0] <= now:
+                apply_time, token, query_class = queue[0]
+                if self.replication.has_applied(name, token.sequence):
+                    queue.pop(0)
+                    dropped += 1
+                    continue
+                if not replica.online:
+                    break
+                queue.pop(0)
                 replica.execute(query_class, apply_time)
                 replica.apply_write(token.sequence)
                 self.replication.acknowledge(name, token)
                 applied += 1
+        if dropped:
+            self.pending_stale_dropped_total += dropped
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter(
+                    "scheduler.pending_dropped_stale", app=self.app
+                ).inc(dropped)
         return applied
+
+    # ------------------------------------------------------------------ #
+    # Replica health (the scheduler's belief, driving re-routing)        #
+    # ------------------------------------------------------------------ #
+
+    def mark_down(self, replica_name: str, at: float, reason: str = "") -> bool:
+        """Record the belief that a replica has failed; reads route around
+        it immediately.  Returns ``True`` on an UP → DOWN transition."""
+        changed = self.health.mark_down(replica_name, at, reason)
+        if changed:
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter(
+                    "scheduler.replica_marked_down",
+                    app=self.app,
+                    replica=replica_name,
+                ).inc()
+        return changed
+
+    def mark_up(self, replica_name: str, at: float, reason: str = "") -> bool:
+        """Re-admit a recovered (and caught-up) replica to the read set."""
+        changed = self.health.mark_up(replica_name, at, reason)
+        if changed:
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter(
+                    "scheduler.replica_marked_up",
+                    app=self.app,
+                    replica=replica_name,
+                ).inc()
+        return changed
 
     @property
     def pending_writes(self) -> int:
@@ -392,6 +543,14 @@ class Scheduler:
                     registry.counter(
                         "scheduler.sla_violations", app=self.app
                     ).inc()
+            # The health gauge is created lazily on the first mark-down so
+            # fault-free runs emit byte-identical telemetry with or without
+            # the fault layer wired in.
+            if self._health_gauge_live or self.health.any_down:
+                self._health_gauge_live = True
+                registry.gauge("scheduler.replicas_down", app=self.app).set(
+                    len(self.health.down_replicas())
+                )
         return finished
 
     def peek_metrics(self) -> AppIntervalMetrics:

@@ -144,6 +144,12 @@ class PhysicalServer:
         self.name = name
         self.spec = spec if spec is not None else ServerSpec()
         self.load = LoadModel(self.spec)
+        # Fault-injection slowdown multipliers (1.0 = nominal hardware).
+        # They scale the *contention factors*, not the utilisations: a
+        # degrading disk or a noisy neighbour stretches every request
+        # without this cluster's own demand explaining it.
+        self.fault_cpu_multiplier = 1.0
+        self.fault_io_multiplier = 1.0
         self.cpu_saturation_threshold = 0.9
         # Bare-metal I/O overload is diagnosed through the memory path (the
         # per-class counters live in the engines), so the direct predicate
@@ -162,9 +168,33 @@ class PhysicalServer:
     def close_interval(self, interval_length: float) -> IntervalLoad:
         return self.load.close_interval(interval_length)
 
+    def set_fault_slowdown(
+        self, cpu: float | None = None, io: float | None = None
+    ) -> None:
+        """Set injected slowdown multipliers (``1.0`` restores nominal).
+
+        Only the named channels change; an I/O slowdown leaves the CPU
+        multiplier untouched and vice versa.
+        """
+        if cpu is not None:
+            if cpu < 1.0:
+                raise ValueError(f"CPU slowdown cannot speed up: {cpu}")
+            self.fault_cpu_multiplier = float(cpu)
+        if io is not None:
+            if io < 1.0:
+                raise ValueError(f"I/O slowdown cannot speed up: {io}")
+            self.fault_io_multiplier = float(io)
+
+    def clear_fault_slowdown(self) -> None:
+        self.fault_cpu_multiplier = 1.0
+        self.fault_io_multiplier = 1.0
+
     @property
     def cpu_factor(self) -> float:
-        return self.load.cpu_factor
+        factor = self.load.cpu_factor
+        if self.fault_cpu_multiplier != 1.0:
+            factor *= self.fault_cpu_multiplier
+        return factor
 
     @property
     def cpu_utilisation(self) -> float:
@@ -176,7 +206,10 @@ class PhysicalServer:
 
     @property
     def io_factor(self) -> float:
-        return self.load.io_factor
+        factor = self.load.io_factor
+        if self.fault_io_multiplier != 1.0:
+            factor *= self.fault_io_multiplier
+        return factor
 
     @property
     def cpu_saturated(self) -> bool:

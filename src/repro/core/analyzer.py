@@ -15,12 +15,13 @@ meets the detection algorithm:
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
 from ..engine.engine import DatabaseEngine
 from ..obs import NULL_OBS, Observability
-from .metrics import MetricVector, vector_from_stats
+from .metrics import Metric, MetricVector, vector_from_stats
 from .mrc import MissRatioCurve, MRCCache, MRCCacheKey, MRCParameters, MRCTracker
 from .mrc_sampling import sampled_mrc
 from .outliers import OutlierReport, detect_outliers, top_k_heavyweight
@@ -36,6 +37,20 @@ accesses, which is ample for working sets up to the pool size."""
 def _app_of(context_key: str) -> str:
     """Query contexts are keyed ``app/class``; recover the app."""
     return context_key.split("/", 1)[0]
+
+
+def _vector_sane(vector: MetricVector) -> bool:
+    """Whether every metric value is finite and non-negative.
+
+    The engine's own accumulators can only produce such values, so anything
+    else means the statistics path was corrupted in flight; feeding it to
+    the IQR detector would poison fences and impact scores for every class
+    in the window.
+    """
+    return all(
+        math.isfinite(value) and value >= 0.0
+        for value in vector.values.values()
+    )
 
 
 class LogAnalyzer:
@@ -75,6 +90,12 @@ class LogAnalyzer:
         # boundaries; the delta to the oldest mark is the "recent tail" the
         # diagnosis-time MRC recomputation uses.
         self._seen_marks: dict[str, deque[int]] = {}
+        # Degraded-mode state: armed faults (consumed by the next drain) and
+        # the quarantine verdict of the interval just closed.
+        self._gap_next: str | None = None
+        self._corrupt_next: tuple[Metric, ...] | None = None
+        self.degraded_last_interval: str | None = None
+        self.quarantined_intervals = 0
 
     # ------------------------------------------------------------------ #
     # Interval pipeline                                                  #
@@ -125,6 +146,18 @@ class LogAnalyzer:
             key: vector_from_stats(stats, interval_length)
             for key, stats in snapshot.items()
         }
+        vectors, degraded = self._screen_vectors(vectors)
+        self.degraded_last_interval = degraded
+        if degraded is not None:
+            # Quarantine: a partial or corrupt window refreshes nothing.
+            # Signatures and MRCs keep their last stable state, detection
+            # sees no vectors it could be misled by, and the controller
+            # (via ``degraded_last_interval``) refuses to act this round.
+            self._quarantine(degraded, span)
+            self._intervals_closed += 1
+            self._last_vectors = {}
+            self._publish_pool_metrics()
+            return {}
         stable_updates = {
             key: vector
             for key, vector in vectors.items()
@@ -155,6 +188,77 @@ class LogAnalyzer:
         self._publish_pool_metrics()
         return vectors
 
+    def _screen_vectors(
+        self, vectors: dict[str, MetricVector]
+    ) -> tuple[dict[str, MetricVector], str | None]:
+        """Apply armed faults, then sanity-screen what the log produced.
+
+        Returns the surviving vectors and the degradation reason (``None``
+        for a healthy interval).  The screen itself is always on — it is
+        the defensive layer; the injection hooks merely exercise it.
+        """
+        reason: str | None = None
+        if self._gap_next is not None:
+            reason = self._gap_next
+            self._gap_next = None
+            return {}, reason
+        if self._corrupt_next is not None:
+            fields = self._corrupt_next
+            self._corrupt_next = None
+            vectors = {
+                key: MetricVector(
+                    context_key=vector.context_key,
+                    values={
+                        metric: (float("nan") if metric in fields else value)
+                        for metric, value in vector.values.items()
+                    },
+                )
+                for key, vector in vectors.items()
+            }
+        sane = {
+            key: vector for key, vector in vectors.items() if _vector_sane(vector)
+        }
+        dropped = len(vectors) - len(sane)
+        if dropped:
+            reason = "corrupt-metrics"
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter(
+                    "analyzer.corrupt_vectors",
+                    engine=self.engine.name,
+                    server=self.server_name,
+                ).inc(dropped)
+        return sane, reason
+
+    def _quarantine(self, reason: str, span) -> None:
+        self.quarantined_intervals += 1
+        span.set_attr("quarantined", reason)
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter(
+                "analyzer.windows_quarantined",
+                engine=self.engine.name,
+                server=self.server_name,
+                reason=reason,
+            ).inc()
+
+    # ------------------------------------------------------------------ #
+    # Fault hooks (consumed by the next interval drain)                  #
+    # ------------------------------------------------------------------ #
+
+    def inject_stats_gap(self, reason: str = "stats-gap") -> None:
+        """Arm a one-interval statistics-log gap: the next drain loses the
+        engine log's snapshot, as a crashed monitoring agent would."""
+        self._gap_next = reason
+
+    def inject_metric_corruption(
+        self, fields: tuple[Metric, ...] | None = None
+    ) -> None:
+        """Arm one interval of corrupt metric values (NaN latency by
+        default); the sanity screen must quarantine them rather than feed
+        them to the IQR detector."""
+        self._corrupt_next = tuple(fields) if fields else (Metric.LATENCY,)
+
     def _publish_pool_metrics(self) -> None:
         """Export the engine pool's cumulative counters as gauges.
 
@@ -184,6 +288,24 @@ class LogAnalyzer:
             key: vector
             for key, vector in self._last_vectors.items()
             if _app_of(key) == app
+        }
+
+    def effective_vectors(self, app: str | None = None) -> dict[str, MetricVector]:
+        """Current vectors, falling back to the last stable-state signature
+        when the last window was quarantined.
+
+        Degraded-mode evidence for read-only consumers (dashboards, load
+        estimates): stale-but-sane beats fresh-but-corrupt.  The controller
+        itself still refuses to *retune* on a quarantined interval — the
+        fallback describes the recent past, not the violating present.
+        """
+        if self.degraded_last_interval is None:
+            return self.current_vectors(app)
+        stable = self.signatures.stable_vectors()
+        if app is None:
+            return dict(stable)
+        return {
+            key: vector for key, vector in stable.items() if _app_of(key) == app
         }
 
     # ------------------------------------------------------------------ #

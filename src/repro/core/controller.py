@@ -156,6 +156,19 @@ class ClusterController:
         manager = self._decision_managers[replica.host.name]
         return manager.analyzer_for(replica.engine.name)
 
+    def analyzers(self) -> list[LogAnalyzer]:
+        """Every log analyzer in the cluster, sorted by server then engine.
+
+        The fault injector uses this to find the analyzers monitoring a
+        target engine; tests and dashboards use it to inspect quarantine
+        state without knowing the replica topology.
+        """
+        return [
+            analyzer
+            for server in sorted(self._decision_managers)
+            for analyzer in self._decision_managers[server].analyzers()
+        ]
+
     # ------------------------------------------------------------------ #
     # The interval loop                                                  #
     # ------------------------------------------------------------------ #
@@ -262,6 +275,18 @@ class ClusterController:
             <= self.config.action_grace_intervals
         ):
             return []
+        # Degraded evidence: a quarantined statistics window means the
+        # interval's vectors are missing or corrupt.  Acting on them would
+        # retune the cluster off garbage, so the controller sits the round
+        # out and retries next interval with (hopefully) clean evidence.
+        degraded = self._degraded_evidence(app)
+        if degraded is not None:
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter(
+                    "controller.degraded_skips", app=app, reason=degraded
+                ).inc()
+            return []
         scheduler = self.schedulers[app]
         views = self._views_of(app)
         if not self.config.fine_grained:
@@ -327,6 +352,20 @@ class ClusterController:
         if applied:
             self._last_action_interval[app] = self._interval_index
         return actions
+
+    def _degraded_evidence(self, app: str) -> str | None:
+        """The quarantine reason when any analyzer serving ``app`` closed a
+        degraded window this interval (``None`` = evidence is trustworthy)."""
+        scheduler = self.schedulers[app]
+        for name in scheduler.replica_names():
+            replica = scheduler.replicas[name]
+            try:
+                analyzer = self.analyzer_of(replica)
+            except KeyError:
+                continue
+            if analyzer.degraded_last_interval is not None:
+                return analyzer.degraded_last_interval
+        return None
 
     def _views_of(self, app: str) -> list[ReplicaView]:
         scheduler = self.schedulers[app]

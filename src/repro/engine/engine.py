@@ -181,6 +181,16 @@ class DatabaseEngine:
         self._quotas.clear()
         self._rebuild_pool()
 
+    def reset_pool(self) -> None:
+        """Discard every resident page and all pool counters (crash restart).
+
+        The pool organisation survives — existing quotas are re-imposed on
+        the rebuilt pool — but residency and :class:`PoolStats` start from
+        zero, so hit ratios and MRC windows measured after a failure are
+        not flattered by warm pre-crash state.
+        """
+        self._rebuild_pool()
+
     def _rebuild_pool(self) -> None:
         if self._quotas:
             pool: BufferPool = PartitionedBufferPool(

@@ -240,6 +240,25 @@ def bench_ablation_sampled_mrc() -> dict:
     return {"trace_length": len(trace), "rows": to_jsonable(rows)}
 
 
+def bench_chaos_failover() -> dict:
+    from .chaos import ChaosConfig, run_chaos
+
+    result = run_chaos(ChaosConfig())
+    return {
+        "reroute_intervals": result.reroute_intervals,
+        "quarantined_intervals": result.quarantined_intervals,
+        "violating_degraded_intervals": result.violating_degraded_intervals,
+        "actions_during_quarantine": result.actions_during_quarantine,
+        "violations_during_outage": result.violations_during_outage,
+        "sla_recovery_intervals": result.sla_recovery_intervals,
+        "pending_stale_dropped": result.pending_stale_dropped,
+        "final_latency": result.final_latency,
+        "sla_met_at_end": result.sla_met_at_end(),
+        "faults_injected": result.faults_injected,
+        "unmatched_faults": result.unmatched_faults,
+    }
+
+
 BENCH_SCENARIOS = {
     "fig3_cpu_saturation": bench_fig3_cpu_saturation,
     "fig4_index_drop": bench_fig4_index_drop,
@@ -253,6 +272,7 @@ BENCH_SCENARIOS = {
     "sweep_pool_size": bench_sweep_pool_size,
     "ablations": bench_ablations,
     "ablation_sampled_mrc": bench_ablation_sampled_mrc,
+    "chaos_failover": bench_chaos_failover,
 }
 
 PYTEST_BENCH_ALIASES = {

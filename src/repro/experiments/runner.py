@@ -20,8 +20,10 @@ from ..cluster.server import PhysicalServer, ServerSpec
 from ..core.controller import AppIntervalReport, ClusterController, ControllerConfig
 from ..engine.engine import DatabaseEngine, EngineConfig
 from ..engine.executor import CostModel
+from ..faults import FaultInjector, FaultPlan
 from ..obs import Observability
 from ..sim.clock import SimClock
+from ..sim.events import EventLoop
 from ..workloads.base import Workload
 from ..workloads.clients import ClosedLoopDriver
 from ..workloads.load import ConstantLoad, LoadFunction
@@ -90,6 +92,10 @@ class ClusterHarness:
         self.drivers: dict[str, ClosedLoopDriver] = {}
         self.workloads: dict[str, Workload] = {}
         self.hooks: dict[int, list[IntervalHook]] = {}
+        # Timestamp-ordered side events (fault injection, future dynamic
+        # scenarios) interleaved with interval processing by ``run``.
+        self.events = EventLoop(clock=self.clock)
+        self.fault_injector: FaultInjector | None = None
         self._interval_index = 0
 
     # ------------------------------------------------------------------ #
@@ -215,6 +221,25 @@ class ClusterHarness:
         self.drivers.pop(app, None)
 
     # ------------------------------------------------------------------ #
+    # Fault injection                                                    #
+    # ------------------------------------------------------------------ #
+
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Schedule a fault plan against this cluster.
+
+        Returns the injector (exposing ``applied``/``unmatched`` for
+        post-run assertions).  An empty plan schedules nothing, so a run
+        with ``install_faults(FaultPlan())`` is byte-identical to one
+        without the call.
+        """
+        if self.fault_injector is not None:
+            raise RuntimeError("a fault plan is already installed")
+        injector = FaultInjector(self, plan, obs=self.obs)
+        injector.schedule()
+        self.fault_injector = injector
+        return injector
+
+    # ------------------------------------------------------------------ #
     # Scenario hooks                                                     #
     # ------------------------------------------------------------------ #
 
@@ -242,9 +267,16 @@ class ClusterHarness:
                 hook(self)
             start = self.clock.now
             length = self.interval_length
+            # Fire side events due at the boundary (and any backlog), then
+            # let the drivers produce the interval's traffic, then fire the
+            # events that fall inside the interval.  With an empty event
+            # queue both calls reduce to plain clock advances, so runs
+            # without faults are byte-identical to the pre-event-loop
+            # behaviour.
+            self.events.run_until(start)
             for app in sorted(self.drivers):
                 self.drivers[app].run_interval(start, length)
-            self.clock.advance(length)
+            self.events.run_until(start + length)
             reports = self.controller.close_interval(self.clock.now)
             for report in reports:
                 result.timelines.setdefault(report.app, []).append(report)

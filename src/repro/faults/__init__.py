@@ -1,0 +1,24 @@
+"""Fault injection: deterministic, sim-clock-driven failure scenarios.
+
+The subsystem splits cleanly into *what* goes wrong and *how it is done
+to the cluster*:
+
+* :class:`FaultPlan` / :class:`FaultEvent` (``plan.py``) — pure data: a
+  timestamp-ordered list of crashes, recoveries, slowdown ramps, stats
+  gaps, metric corruptions and write-propagation stalls, optionally drawn
+  from a seeded stream (:meth:`FaultPlan.random`);
+* :class:`FaultInjector` (``injector.py``) — replays a plan against a
+  live :class:`~repro.experiments.runner.ClusterHarness` through its
+  event loop, surfacing every application through ``faults.*`` telemetry.
+
+The reaction layer the injector exercises lives with the components it
+hardens: replica health tracking, failover re-routing and bounded
+retry-with-backoff in :mod:`repro.cluster.scheduler`; measurement-window
+quarantine and corrupt-evidence refusal in :mod:`repro.core.analyzer` and
+:mod:`repro.core.controller`.
+"""
+
+from .injector import FaultInjector
+from .plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan"]

@@ -1,0 +1,224 @@
+"""The fault injector: replays a :class:`FaultPlan` against a live cluster.
+
+The injector owns no policy — it translates plan events into calls on the
+substrate (fail/recover a replica, set a host's slowdown multiplier, arm an
+analyzer's stats-gap or corruption flag, stall a scheduler's propagation
+stream) at the simulated instants the plan names.  Events are scheduled on
+the harness's :class:`~repro.sim.events.EventLoop`, so they interleave with
+interval processing deterministically: an event at time *t* fires before
+any interval boundary later than *t* is closed.
+
+Everything the injector does is surfaced through observability: one
+``faults.injected`` counter increment per event (labelled by kind) and one
+``faults.apply`` span per application, so a telemetry export names every
+fault a run experienced.  With an empty plan the injector schedules
+nothing and touches nothing — the fault layer is zero-cost when disabled.
+"""
+
+from __future__ import annotations
+
+from .plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules one plan's events onto one harness's event loop."""
+
+    def __init__(self, harness, plan: FaultPlan, obs=None) -> None:
+        self.harness = harness
+        self.plan = plan
+        self.obs = obs if obs is not None else harness.obs
+        self.applied: list[tuple[float, FaultEvent]] = []
+        self.unmatched: list[tuple[float, FaultEvent]] = []
+        self._scheduled = False
+
+    # ------------------------------------------------------------------ #
+    # Scheduling                                                         #
+    # ------------------------------------------------------------------ #
+
+    def schedule(self) -> int:
+        """Put every plan event on the event loop; returns the count."""
+        if self._scheduled:
+            raise RuntimeError("fault plan already scheduled")
+        self._scheduled = True
+        count = 0
+        for event in self.plan.ordered():
+            if event.kind in (FaultKind.IO_SLOWDOWN, FaultKind.CPU_SLOWDOWN):
+                count += self._schedule_slowdown(event)
+            else:
+                self.harness.events.schedule_at(event.at, self._fire, event)
+                count += 1
+        return count
+
+    def _schedule_slowdown(self, event: FaultEvent) -> int:
+        """Expand a slowdown into its ramp steps plus the restore event.
+
+        Step ``i`` of ``n`` raises the multiplier to
+        ``1 + (factor - 1) * i / n`` at ``at + (i - 1) * duration / n``;
+        the host returns to nominal speed at ``at + duration``.
+        """
+        steps = event.ramp_steps
+        stride = event.duration / steps
+        scheduled = 0
+        for index in range(steps):
+            multiplier = 1.0 + (event.factor - 1.0) * (index + 1) / steps
+            self.harness.events.schedule_at(
+                event.at + index * stride,
+                self._fire_slowdown, event, multiplier,
+            )
+            scheduled += 1
+        self.harness.events.schedule_at(
+            event.at + event.duration, self._fire_slowdown, event, 1.0
+        )
+        return scheduled + 1
+
+    # ------------------------------------------------------------------ #
+    # Event handlers                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _record(self, event: FaultEvent) -> None:
+        self.applied.append((self.harness.clock.now, event))
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("faults.injected", kind=event.kind.value).inc()
+
+    def _span(self, event: FaultEvent, **attrs):
+        return self.obs.tracer.span(
+            "faults.apply",
+            attrs={"kind": event.kind.value, "target": event.target, **attrs},
+        )
+
+    def _fire(self, event: FaultEvent) -> None:
+        handler = {
+            FaultKind.REPLICA_CRASH: self._crash,
+            FaultKind.REPLICA_RECOVER: self._recover,
+            FaultKind.STATS_GAP: self._stats_gap,
+            FaultKind.METRIC_CORRUPTION: self._corruption,
+            FaultKind.WRITE_STALL: self._write_stall,
+        }[event.kind]
+        with self._span(event):
+            handler(event)
+
+    def _fire_slowdown(self, event: FaultEvent, multiplier: float) -> None:
+        server = self._find_host(event)
+        if server is None:
+            return
+        with self._span(event, multiplier=round(multiplier, 6)):
+            if event.kind is FaultKind.IO_SLOWDOWN:
+                server.set_fault_slowdown(io=multiplier)
+            else:
+                server.set_fault_slowdown(cpu=multiplier)
+        if multiplier != 1.0:  # the restore-to-nominal step is not a fault
+            self._record(event)
+
+    def _crash(self, event: FaultEvent) -> None:
+        found = self._find_replica(event)
+        if found is None:
+            return
+        _, replica = found
+        # The crash is *silent*: the scheduler only learns about it when a
+        # routed execution fails, which is what exercises its mark-down and
+        # retry-with-backoff machinery.
+        replica.fail()
+        self._record(event)
+
+    def _recover(self, event: FaultEvent) -> None:
+        found = self._find_replica(event)
+        if found is None:
+            return
+        scheduler, replica = found
+        now = self.harness.clock.now
+        # Recovery restarts the engine's buffer pool cold (the machine's
+        # memory did not survive the crash), replays the writes missed
+        # while down, and only then re-admits the replica to routing.
+        replica.recover()
+        try:
+            scheduler.catch_up(replica.name, now)
+        except RuntimeError:
+            # Too far behind the retained write log: the replica stays out
+            # of the read/write sets (it is online but not current).
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter(
+                    "faults.recover_failed", replica=replica.name
+                ).inc()
+            self._record(event)
+            return
+        scheduler.mark_up(replica.name, now)
+        self._record(event)
+
+    def _stats_gap(self, event: FaultEvent) -> None:
+        analyzers = self._find_analyzers(event)
+        if not analyzers:
+            return
+        for analyzer in analyzers:
+            analyzer.inject_stats_gap()
+        self._record(event)
+
+    def _corruption(self, event: FaultEvent) -> None:
+        analyzers = self._find_analyzers(event)
+        if not analyzers:
+            return
+        for analyzer in analyzers:
+            analyzer.inject_metric_corruption()
+        self._record(event)
+
+    def _write_stall(self, event: FaultEvent) -> None:
+        scheduler = self.harness.controller.schedulers.get(event.target)
+        if scheduler is None:
+            self._miss(event)
+            return
+        now = self.harness.clock.now
+        scheduler.stall_propagation(now + event.duration)
+        self._record(event)
+
+    # ------------------------------------------------------------------ #
+    # Target resolution                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _miss(self, event: FaultEvent) -> None:
+        """An event whose target does not (yet) exist is dropped, counted."""
+        self.unmatched.append((self.harness.clock.now, event))
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter(
+                "faults.unmatched", kind=event.kind.value
+            ).inc()
+
+    def _find_replica(self, event: FaultEvent):
+        for app in sorted(self.harness.controller.schedulers):
+            scheduler = self.harness.controller.schedulers[app]
+            replica = scheduler.replicas.get(event.target)
+            if replica is not None:
+                return scheduler, replica
+        self._miss(event)
+        return None
+
+    def _find_host(self, event: FaultEvent):
+        try:
+            return self.harness.resource_manager.server(event.target)
+        except KeyError:
+            self._miss(event)
+            return None
+
+    def _find_analyzers(self, event: FaultEvent) -> list:
+        matches = [
+            analyzer
+            for analyzer in self.harness.controller.analyzers()
+            if analyzer.engine.name == event.target
+        ]
+        if not matches:
+            self._miss(event)
+        return matches
+
+    # ------------------------------------------------------------------ #
+    # Reporting                                                          #
+    # ------------------------------------------------------------------ #
+
+    def applied_kinds(self) -> dict[str, int]:
+        """How many events of each kind actually fired."""
+        counts: dict[str, int] = {}
+        for _, event in self.applied:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return dict(sorted(counts.items()))

@@ -1,0 +1,252 @@
+"""Deterministic fault plans: what breaks, when, and how badly.
+
+A :class:`FaultPlan` is a timestamp-ordered list of :class:`FaultEvent`
+records describing everything that will go wrong during a run — replica
+crashes and recoveries, I/O and CPU slowdown ramps on hosts, statistics-log
+gaps and metric corruption on engines, and write-propagation stalls on
+schedulers.  Plans are plain data: building one performs no side effects,
+so the same plan can drive any number of runs and two runs under the same
+plan are bit-for-bit identical (the determinism property suite pins this).
+
+Seeded plans come from :meth:`FaultPlan.random`, which draws every event
+from a :class:`~repro.sim.rng.RandomStream` derived from one seed — the
+fault subsystem obeys the same reproducibility discipline as the workload
+generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from ..sim.rng import RandomStream
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan"]
+
+
+class FaultKind(str, Enum):
+    """Everything the injector knows how to break."""
+
+    REPLICA_CRASH = "replica_crash"
+    REPLICA_RECOVER = "replica_recover"
+    IO_SLOWDOWN = "io_slowdown"
+    CPU_SLOWDOWN = "cpu_slowdown"
+    STATS_GAP = "stats_gap"
+    METRIC_CORRUPTION = "metric_corruption"
+    WRITE_STALL = "write_stall"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_TARGETED_AT_REPLICAS = (FaultKind.REPLICA_CRASH, FaultKind.REPLICA_RECOVER)
+_TARGETED_AT_HOSTS = (FaultKind.IO_SLOWDOWN, FaultKind.CPU_SLOWDOWN)
+_TARGETED_AT_ENGINES = (FaultKind.STATS_GAP, FaultKind.METRIC_CORRUPTION)
+_TARGETED_AT_APPS = (FaultKind.WRITE_STALL,)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` names a replica (crash/recover), a host (slowdowns), an
+    engine (stats faults) or an application (write stalls).  Slowdowns
+    carry a peak ``factor`` reached over ``ramp_steps`` equal increments
+    spread across ``duration`` simulated seconds, after which the host
+    returns to nominal speed; ``ramp_steps=1`` is a step function.
+    """
+
+    at: float
+    kind: FaultKind
+    target: str
+    duration: float = 0.0
+    factor: float = 1.0
+    ramp_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time must be non-negative: {self.at}")
+        if not self.target:
+            raise ValueError("fault target must be a non-empty name")
+        if self.kind in _TARGETED_AT_HOSTS:
+            if self.factor <= 1.0:
+                raise ValueError(
+                    f"slowdown factor must exceed 1.0: {self.factor}"
+                )
+            if self.duration <= 0:
+                raise ValueError(
+                    f"slowdown duration must be positive: {self.duration}"
+                )
+            if self.ramp_steps < 1:
+                raise ValueError(
+                    f"ramp steps must be at least 1: {self.ramp_steps}"
+                )
+        if self.kind in _TARGETED_AT_APPS and self.duration <= 0:
+            raise ValueError(
+                f"write stall duration must be positive: {self.duration}"
+            )
+
+
+@dataclass
+class FaultPlan:
+    """A timestamp-ordered collection of fault events (pure data)."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Builders (each returns self, so plans chain fluently)              #
+    # ------------------------------------------------------------------ #
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    def crash(self, at: float, replica: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, FaultKind.REPLICA_CRASH, replica))
+
+    def recover(self, at: float, replica: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, FaultKind.REPLICA_RECOVER, replica))
+
+    def io_slowdown(
+        self, at: float, host: str, factor: float, duration: float,
+        ramp_steps: int = 1,
+    ) -> "FaultPlan":
+        return self.add(FaultEvent(
+            at, FaultKind.IO_SLOWDOWN, host,
+            duration=duration, factor=factor, ramp_steps=ramp_steps,
+        ))
+
+    def cpu_slowdown(
+        self, at: float, host: str, factor: float, duration: float,
+        ramp_steps: int = 1,
+    ) -> "FaultPlan":
+        return self.add(FaultEvent(
+            at, FaultKind.CPU_SLOWDOWN, host,
+            duration=duration, factor=factor, ramp_steps=ramp_steps,
+        ))
+
+    def stats_gap(self, at: float, engine: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, FaultKind.STATS_GAP, engine))
+
+    def metric_corruption(self, at: float, engine: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, FaultKind.METRIC_CORRUPTION, engine))
+
+    def write_stall(self, at: float, app: str, duration: float) -> "FaultPlan":
+        return self.add(FaultEvent(
+            at, FaultKind.WRITE_STALL, app, duration=duration
+        ))
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    def ordered(self) -> list[FaultEvent]:
+        """Events sorted by time; equal timestamps keep insertion order."""
+        return sorted(
+            self.events, key=lambda e: e.at
+        )  # Python's sort is stable, so ties preserve insertion order.
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.ordered())
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def kinds(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def shifted(self, delta: float) -> "FaultPlan":
+        """A copy of the plan with every event moved by ``delta`` seconds."""
+        return FaultPlan([replace(e, at=e.at + delta) for e in self.events])
+
+    def to_jsonable(self) -> list[dict]:
+        """JSON-ready event list (for artefacts and telemetry meta)."""
+        return [
+            {
+                "at": event.at,
+                "kind": event.kind.value,
+                "target": event.target,
+                "duration": event.duration,
+                "factor": event.factor,
+                "ramp_steps": event.ramp_steps,
+            }
+            for event in self.ordered()
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Seeded generation                                                  #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        replicas: list[str],
+        hosts: list[str] | None = None,
+        engines: list[str] | None = None,
+        apps: list[str] | None = None,
+        horizon: float = 300.0,
+        events: int = 6,
+        min_outage: float = 10.0,
+        max_outage: float = 60.0,
+    ) -> "FaultPlan":
+        """A seeded plan: same seed and targets, same plan — always.
+
+        Crash events always schedule a matching recovery ``min_outage`` to
+        ``max_outage`` seconds later (clipped to the horizon), so random
+        plans never strand a replica offline forever; the other kinds draw
+        uniformly over their target lists.  Every draw comes from a single
+        named :class:`RandomStream`, so plan generation is insulated from
+        any other stream the simulation consumes.
+        """
+        if not replicas:
+            raise ValueError("a random plan needs at least one replica name")
+        if events < 0:
+            raise ValueError(f"event count must be non-negative: {events}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive: {horizon}")
+        stream = RandomStream(seed, "fault-plan")
+        plan = cls()
+        kinds = [FaultKind.REPLICA_CRASH]
+        if hosts:
+            kinds += [FaultKind.IO_SLOWDOWN, FaultKind.CPU_SLOWDOWN]
+        if engines:
+            kinds += [FaultKind.STATS_GAP, FaultKind.METRIC_CORRUPTION]
+        if apps:
+            kinds += [FaultKind.WRITE_STALL]
+        for _ in range(events):
+            kind = stream.choice(kinds)
+            at = stream.uniform(0.0, horizon)
+            if kind is FaultKind.REPLICA_CRASH:
+                replica = stream.choice(replicas)
+                back = min(
+                    at + stream.uniform(min_outage, max_outage), horizon
+                )
+                plan.crash(at, replica)
+                plan.recover(back, replica)
+            elif kind in _TARGETED_AT_HOSTS:
+                host = stream.choice(hosts)
+                factor = 1.0 + stream.uniform(0.25, 3.0)
+                duration = stream.uniform(min_outage, max_outage)
+                steps = stream.integers(1, 4)
+                if kind is FaultKind.IO_SLOWDOWN:
+                    plan.io_slowdown(at, host, factor, duration, steps)
+                else:
+                    plan.cpu_slowdown(at, host, factor, duration, steps)
+            elif kind is FaultKind.STATS_GAP:
+                plan.stats_gap(at, stream.choice(engines))
+            elif kind is FaultKind.METRIC_CORRUPTION:
+                plan.metric_corruption(at, stream.choice(engines))
+            else:
+                plan.write_stall(
+                    at, stream.choice(apps),
+                    stream.uniform(min_outage, max_outage),
+                )
+        return plan

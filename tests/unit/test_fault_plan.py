@@ -1,0 +1,161 @@
+"""Unit tests for fault plans and the fault injector's plan handling."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+
+class TestFaultEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, FaultKind.REPLICA_CRASH, "r1")
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, FaultKind.REPLICA_CRASH, "")
+
+    def test_slowdown_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                0.0, FaultKind.IO_SLOWDOWN, "host", duration=5.0, factor=1.0
+            )
+
+    def test_slowdown_needs_positive_duration(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, FaultKind.CPU_SLOWDOWN, "host", factor=2.0)
+
+    def test_slowdown_needs_at_least_one_ramp_step(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                0.0, FaultKind.IO_SLOWDOWN, "host",
+                duration=5.0, factor=2.0, ramp_steps=0,
+            )
+
+    def test_write_stall_needs_positive_duration(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, FaultKind.WRITE_STALL, "app")
+
+    def test_crash_needs_no_duration(self):
+        event = FaultEvent(3.0, FaultKind.REPLICA_CRASH, "r1")
+        assert event.duration == 0.0
+
+
+class TestPlanBuilders:
+    def test_builders_chain(self):
+        plan = (
+            FaultPlan()
+            .crash(10.0, "r1")
+            .recover(30.0, "r1")
+            .io_slowdown(5.0, "host", factor=2.0, duration=10.0)
+            .cpu_slowdown(6.0, "host", factor=3.0, duration=10.0, ramp_steps=2)
+            .stats_gap(12.0, "engine")
+            .metric_corruption(14.0, "engine")
+            .write_stall(16.0, "app", duration=5.0)
+        )
+        assert len(plan) == 7
+        assert plan.kinds() == {
+            "cpu_slowdown": 1,
+            "io_slowdown": 1,
+            "metric_corruption": 1,
+            "replica_crash": 1,
+            "replica_recover": 1,
+            "stats_gap": 1,
+            "write_stall": 1,
+        }
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert len(plan) == 0
+        assert list(plan) == []
+        assert plan.to_jsonable() == []
+
+    def test_ordered_sorts_by_time(self):
+        plan = FaultPlan().crash(20.0, "r1").stats_gap(5.0, "e")
+        assert [e.at for e in plan.ordered()] == [5.0, 20.0]
+
+    def test_ordered_preserves_insertion_on_ties(self):
+        plan = FaultPlan().crash(10.0, "r1").stats_gap(10.0, "e")
+        kinds = [e.kind for e in plan.ordered()]
+        assert kinds == [FaultKind.REPLICA_CRASH, FaultKind.STATS_GAP]
+
+    def test_shifted_moves_every_event(self):
+        plan = FaultPlan().crash(10.0, "r1").recover(20.0, "r1")
+        shifted = plan.shifted(5.0)
+        assert [e.at for e in shifted.ordered()] == [15.0, 25.0]
+        # The original is untouched.
+        assert [e.at for e in plan.ordered()] == [10.0, 20.0]
+
+    def test_to_jsonable_round_trips_fields(self):
+        plan = FaultPlan().io_slowdown(
+            2.0, "host", factor=2.5, duration=8.0, ramp_steps=4
+        )
+        [entry] = plan.to_jsonable()
+        assert entry == {
+            "at": 2.0,
+            "kind": "io_slowdown",
+            "target": "host",
+            "duration": 8.0,
+            "factor": 2.5,
+            "ramp_steps": 4,
+        }
+
+
+class TestRandomPlans:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(
+            replicas=["r1", "r2"],
+            hosts=["h1"],
+            engines=["e1"],
+            apps=["app"],
+            horizon=100.0,
+            events=8,
+        )
+        first = FaultPlan.random(3, **kwargs)
+        second = FaultPlan.random(3, **kwargs)
+        assert first.to_jsonable() == second.to_jsonable()
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(replicas=["r1", "r2"], hosts=["h1"], events=8)
+        assert (
+            FaultPlan.random(1, **kwargs).to_jsonable()
+            != FaultPlan.random(2, **kwargs).to_jsonable()
+        )
+
+    def test_crashes_always_pair_with_recovery(self):
+        plan = FaultPlan.random(11, replicas=["r1", "r2", "r3"], events=12)
+        kinds = plan.kinds()
+        assert kinds.get("replica_crash", 0) == kinds.get("replica_recover", 0)
+        # Per replica, every crash has a later recovery.
+        for replica in ("r1", "r2", "r3"):
+            events = [e for e in plan.ordered() if e.target == replica]
+            pending = 0
+            for event in events:
+                if event.kind is FaultKind.REPLICA_CRASH:
+                    pending += 1
+                elif event.kind is FaultKind.REPLICA_RECOVER:
+                    pending -= 1
+            assert pending == 0
+
+    def test_events_within_horizon(self):
+        plan = FaultPlan.random(
+            5, replicas=["r1"], hosts=["h"], engines=["e"], apps=["a"],
+            horizon=50.0, events=10,
+        )
+        assert all(0.0 <= e.at <= 50.0 for e in plan.ordered())
+
+    def test_needs_replicas(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(1, replicas=[])
+
+    def test_rejects_negative_events(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(1, replicas=["r1"], events=-1)
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(1, replicas=["r1"], horizon=0.0)
+
+    def test_kinds_restricted_to_named_targets(self):
+        plan = FaultPlan.random(9, replicas=["r1"], events=10)
+        assert set(plan.kinds()) <= {"replica_crash", "replica_recover"}
