@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Planner smoke: the capacity planner keeps its planning contract.
+
+Runs the ``planner_sweep`` registry scenario (the Table 2 memory-contention
+story under both the classic single-server quota path and the global
+capacity planner, plus a what-if validation of the plan itself) and
+asserts:
+
+1. **artefact unchanged** — the scenario's artefact matches the committed
+   ``BENCH_planner_sweep.json`` byte-for-byte in the registry's canonical
+   comparison (drift is a hard failure, exactly as in ``chaos_smoke.py``);
+2. **planning invariants** — the properties the planner subsystem exists
+   to provide, regardless of what the baseline says:
+
+   * the planner reacts at least as fast as the quota path (in contention
+     intervals to first corrective action),
+   * both modes recover TPC-W's SLA after acting,
+   * the plan is non-trivial (it has steps) and its digest is pinned —
+     same snapshot + seed must reproduce it byte-identically,
+   * the what-if validation holds: every plan-tuned class's predicted
+     miss ratio is within 25% of the simulated one.
+
+Run from the repo root (CI runs it in the bench-baseline job)::
+
+    PYTHONPATH=src python benchmarks/planner_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.export import to_jsonable  # noqa: E402
+from repro.experiments.bench import (  # noqa: E402
+    BENCH_SCENARIOS,
+    BenchRun,
+    compare_with_baseline,
+    load_baseline,
+)
+
+SCENARIO = "planner_sweep"
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+VALIDATION_TOLERANCE = 0.25
+
+
+def main() -> int:
+    start = time.perf_counter()
+    artefact = to_jsonable(BENCH_SCENARIOS[SCENARIO]())
+    seconds = time.perf_counter() - start
+
+    failures: list[str] = []
+
+    baseline = load_baseline(BASELINE_DIR, SCENARIO)
+    if baseline is None:
+        failures.append(f"no committed baseline for {SCENARIO}")
+    else:
+        run = BenchRun(name=SCENARIO, artefact=artefact, seconds=seconds)
+        comparison = compare_with_baseline(run, baseline)
+        if not comparison.artefact_ok:
+            drift = "; ".join(comparison.drift[:5])
+            failures.append(f"artefact drift vs baseline: {drift}")
+
+    quota = artefact["quota"]
+    planner = artefact["planner"]
+    if quota["intervals_to_action"] < 0:
+        failures.append("quota path never acted on the contention")
+    if planner["intervals_to_action"] < 0:
+        failures.append("planner never acted on the contention")
+    if (
+        planner["intervals_to_action"] >= 0
+        and quota["intervals_to_action"] >= 0
+        and planner["intervals_to_action"] > quota["intervals_to_action"]
+    ):
+        failures.append(
+            "planner slower than the quota path: "
+            f"{planner['intervals_to_action']} vs "
+            f"{quota['intervals_to_action']} intervals to action"
+        )
+    for outcome in (quota, planner):
+        if not outcome["recovered_sla_met"]:
+            failures.append(
+                f"{outcome['mode']} mode did not recover the SLA "
+                f"(latency {outcome['recovered_latency']:.3f}s)"
+            )
+    if artefact["plan_steps"] < 1:
+        failures.append("plan is empty at the contended planning point")
+    if not artefact["plan_digest"]:
+        failures.append("plan digest missing (determinism pin lost)")
+    if not artefact["validation_ok"]:
+        failures.append(
+            "what-if validation failed: max relative error "
+            f"{artefact['validation_max_error']:.0%} exceeds "
+            f"{VALIDATION_TOLERANCE:.0%}"
+        )
+    if artefact["validation_checks"] < 1:
+        failures.append("validation checked no classes")
+
+    print(f"planner smoke: {SCENARIO} in {seconds:.3f}s")
+    print(
+        f"  intervals to action:   quota {quota['intervals_to_action']}, "
+        f"planner {planner['intervals_to_action']}"
+    )
+    print(
+        f"  recovered latency:     quota {quota['recovered_latency']:.3f}s, "
+        f"planner {planner['recovered_latency']:.3f}s"
+    )
+    print(f"  plan steps:            {artefact['plan_steps']} "
+          f"({', '.join(artefact['plan_step_kinds'])})")
+    print(f"  plan digest:           {artefact['plan_digest'][:16]}…")
+    print(
+        f"  validation max error:  {artefact['validation_max_error']:.1%} "
+        f"over {artefact['validation_checks']} class(es)"
+    )
+    for failure in failures:
+        print(f"FAILURE: {failure}")
+    if not failures:
+        print("planner smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,13 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["to_jsonable", "export_result", "export_telemetry"]
+__all__ = [
+    "to_jsonable",
+    "export_result",
+    "export_telemetry",
+    "allocation_records",
+    "export_allocation_history",
+]
 
 
 def to_jsonable(value):
@@ -56,6 +62,38 @@ def export_result(path: str | Path, result, indent: int = 2) -> Path:
     path = Path(path)
     payload = to_jsonable(result)
     path.write_text(json.dumps(payload, indent=indent, sort_keys=True) + "\n")
+    return path
+
+
+def allocation_records(manager) -> list[dict]:
+    """The resource manager's allocation timeline as JSONL-ready records.
+
+    Each :class:`~repro.cluster.resource_manager.AllocationEvent` becomes a
+    ``{"record": "allocation", ...}`` dict, the machine-allocation history
+    the paper plots in Figure 3 — collected since PR 1 but never surfaced.
+    """
+    return [
+        {
+            "record": "allocation",
+            "timestamp": event.timestamp,
+            "app": event.app,
+            "action": event.action,
+            "server": event.server,
+            "replica": event.replica,
+            "replica_count": event.replica_count,
+        }
+        for event in manager.history
+    ]
+
+
+def export_allocation_history(path: str | Path, manager) -> Path:
+    """Write the allocation timeline as JSONL; returns the path."""
+    path = Path(path)
+    lines = [
+        json.dumps(record, sort_keys=True)
+        for record in allocation_records(manager)
+    ]
+    path.write_text("".join(line + "\n" for line in lines))
     return path
 
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro table1 | table2 | table3
     python -m repro locks                # the future-work lock scenario
     python -m repro obs report           # telemetry summary of the quickstart
+    python -m repro plan --validate      # capacity plan + what-if validation
     python -m repro bench --parallel 4   # benchmark scenarios, sharded
     python -m repro all                  # everything, in order
 
@@ -200,25 +201,39 @@ def _obs(args) -> int:
 
     obs = Observability()
     scenario = getattr(args, "scenario", "index-drop")
+    allocation_lines: list[str] = []
     if scenario == "quickstart":
+        import json as _json
+
+        from .analysis.export import allocation_records
         from .experiments.runner import quickstart_scenario
 
         intervals = args.intervals or 12
         clients = args.clients or 25
-        quickstart_scenario(obs=obs, intervals=intervals, clients=clients)
+        harness, _ = quickstart_scenario(
+            obs=obs, intervals=intervals, clients=clients
+        )
         meta = {
             "scenario": "quickstart",
             "intervals": intervals,
             "clients": clients,
             "seed": 7,
         }
+        # Feed the allocation timeline to the report only: the exported
+        # telemetry (and its byte-identical golden) stays untouched.
+        allocation_lines = [
+            _json.dumps(record, sort_keys=True)
+            for record in allocation_records(
+                harness.controller.resource_manager
+            )
+        ]
     else:
         from .experiments.index_drop import IndexDropConfig, run_index_drop
 
         clients = args.clients or 60
         run_index_drop(IndexDropConfig(clients=clients), obs=obs)
         meta = {"scenario": "index-drop", "clients": clients, "seed": 7}
-    lines = telemetry_lines(obs, meta=meta)
+    lines = telemetry_lines(obs, meta=meta) + allocation_lines
     if getattr(args, "export", None):
         from .analysis.export import export_telemetry
 
@@ -228,6 +243,52 @@ def _obs(args) -> int:
     summary = TelemetrySummary.from_lines(lines)
     print(summary.render())
     return 0
+
+
+def _plan(args) -> int:
+    """``repro plan`` — capacity planner on the contended planning point.
+
+    Rebuilds the memory-contention scenario up to the moment the paper's
+    controller would first react, snapshots the cluster, searches a
+    capacity plan and prints it.  ``--validate`` replays the plan in a
+    forked harness and compares predicted vs simulated miss ratios;
+    ``--apply`` actuates it on the scenario copy and reports the actions.
+    """
+    from .experiments.planner_sweep import (
+        PlannerSweepConfig,
+        plan_at_planning_point,
+        validate_at_planning_point,
+    )
+
+    config = PlannerSweepConfig(planner_seed=args.seed)
+    plan, harness = plan_at_planning_point(config)
+    print(plan.render())
+    print(f"\nplan digest: {plan.digest()}")
+    status = 0
+    if args.validate:
+        validation = validate_at_planning_point(plan, config)
+        print()
+        print(validation.render())
+        if not validation.ok:
+            status = 1
+    if args.apply:
+        actions = harness.controller.apply_plan(plan, harness.clock.now)
+        print(f"\napplied {len(actions)} actions:")
+        for action in actions:
+            print(f"  {action.kind.value}: {action.reason}")
+        released = [
+            event
+            for event in harness.controller.resource_manager.history
+            if event.action == "release"
+        ]
+        if released:
+            print(f"  plus {len(released)} replica release(s)")
+    if args.export:
+        from .analysis.export import export_result
+
+        path = export_result(args.export, plan.to_jsonable())
+        print(f"\nplan written: {path}")
+    return status
 
 
 def _chaos(args) -> int:
@@ -316,6 +377,7 @@ _COMMANDS = {
     "table3": (_table3, "Xen dom0 I/O contention (two RUBiS domains)"),
     "locks": (_locks, "lock-contention anomaly (the paper's future work)"),
     "chaos": (_chaos, "fault-injection storm: failover, quarantine, recovery"),
+    "plan": (_plan, "capacity planner: print/validate/apply a cluster plan"),
     "obs": (_obs, "telemetry: span timings, recomputations, actions"),
     "bench": (_bench, "benchmark scenarios: run, time, check baselines"),
     "all": (_all, "run every artefact in order"),
@@ -359,6 +421,20 @@ def build_parser() -> argparse.ArgumentParser:
 
             bench = subparsers.add_parser(name, help=help_text)
             add_bench_arguments(bench)
+            continue
+        if name == "plan":
+            plan = subparsers.add_parser(name, help=help_text)
+            plan.add_argument("--seed", type=int, default=0,
+                              help="planner search seed (default: 0)")
+            plan.add_argument("--validate", action="store_true",
+                              help="replay the plan in a forked harness and "
+                                   "compare predicted vs simulated miss "
+                                   "ratios (exit 1 on mismatch)")
+            plan.add_argument("--apply", action="store_true",
+                              help="actuate the plan on the scenario copy "
+                                   "and report the resulting actions")
+            plan.add_argument("--export", type=str, default=None,
+                              help="also write the plan as JSON to this path")
             continue
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--clients", type=int, default=None,

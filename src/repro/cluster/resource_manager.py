@@ -79,25 +79,37 @@ class ResourceManager:
         timestamp: float,
         pool_pages: int = 8192,
         exclusive: bool = False,
+        server: str | None = None,
     ) -> Replica:
         """Provision one more replica for ``scheduler``'s application.
 
         Server choice: an idle server if available; otherwise (and only when
         ``exclusive`` is not required) the least-loaded server not already
-        running this application.  Raises ``RuntimeError`` when the pool
-        cannot satisfy the request.
+        running this application.  The capacity planner can pin the choice
+        with ``server`` (its plans name concrete servers); a pinned server
+        must be pooled and not already run the application.  Raises
+        ``RuntimeError`` when the pool cannot satisfy the request.
         """
         app = scheduler.app
-        candidates = [name for name in self.idle_servers()]
-        if not candidates and not exclusive:
-            candidates = sorted(
-                (
-                    name
-                    for name, apps in self._hosted.items()
-                    if app not in apps
-                ),
-                key=lambda name: (len(self._hosted[name]), name),
-            )
+        if server is not None:
+            if server not in self._servers:
+                raise KeyError(f"no pooled server named {server!r}")
+            if app in self._hosted[server]:
+                raise RuntimeError(
+                    f"server {server!r} already hosts a replica of {app!r}"
+                )
+            candidates = [server]
+        else:
+            candidates = [name for name in self.idle_servers()]
+            if not candidates and not exclusive:
+                candidates = sorted(
+                    (
+                        name
+                        for name, apps in self._hosted.items()
+                        if app not in apps
+                    ),
+                    key=lambda name: (len(self._hosted[name]), name),
+                )
         if not candidates:
             raise RuntimeError(
                 f"server pool exhausted: cannot provision a replica for {app!r}"

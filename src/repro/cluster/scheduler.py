@@ -211,6 +211,16 @@ class Scheduler:
         """Every explicitly placed class and the replicas it is pinned to."""
         return {key: sorted(targets) for key, targets in self._placement.items()}
 
+    def placements_for(
+        self, context_keys: list[str]
+    ) -> dict[str, list[str]]:
+        """Placement of each requested class (pinned or default full set).
+
+        Bulk form of :meth:`placement_of` for snapshot assembly — one call
+        per scheduler instead of one per class.
+        """
+        return {key: self.placement_of(key) for key in context_keys}
+
     def move_class(self, context_key: str, to_replica: str) -> None:
         """Reschedule a class so it runs *only* on ``to_replica``.
 

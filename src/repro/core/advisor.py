@@ -16,6 +16,14 @@ Because Mattson curves are exact for LRU, the prediction for a quota'd
 class is exact up to trace drift; for classes sharing the default partition
 it is optimistic (they compete inside it), which is the same approximation
 the paper's heuristic makes.
+
+The cluster-scope extension (:func:`predict_pool_miss_ratios`,
+:func:`assess_cluster`) drops that optimism where it matters: when the
+sharers' combined working sets overcommit the shared partition, each sharer
+is evaluated at a *pressure-proportional* slice of it instead of the whole
+remainder.  This is what lets the capacity planner see cross-class memory
+contention inside one pool — the single-server path never needed to,
+because its quota search already guarantees the shared floor.
 """
 
 from __future__ import annotations
@@ -25,7 +33,17 @@ from dataclasses import dataclass, field
 from .mrc import MissRatioCurve, MRCParameters
 from .quota import QuotaPlan
 
-__all__ = ["ClassPrediction", "PlanAssessment", "predict_miss_ratios", "assess_plan"]
+__all__ = [
+    "ClassPrediction",
+    "PlanAssessment",
+    "PoolAssignment",
+    "ClusterAssessment",
+    "predict_miss_ratios",
+    "predict_pool_miss_ratios",
+    "assess_plan",
+    "assess_pool",
+    "assess_cluster",
+]
 
 
 @dataclass(frozen=True)
@@ -109,4 +127,183 @@ def assess_plan(
             predicted_miss_ratio=ratio,
             acceptable_miss_ratio=acceptable,
         )
+    return assessment
+
+
+# --------------------------------------------------------------------- #
+# Cluster scope (the capacity planner's scoring backend)                #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PoolAssignment:
+    """One buffer pool's proposed contents, as the planner would arrange it.
+
+    ``curves`` may hold full :class:`MissRatioCurve` objects or any object
+    with a ``miss_ratio(pages)`` method (the planner passes its sampled
+    :class:`~repro.planner.model.CurveSlice` summaries).  ``demands`` and
+    ``pressures`` drive the shared-partition contention split; classes
+    missing from either fall back to neutral weights.  ``extra_demand``
+    accounts for resident classes that were summarised away (they still
+    take up room in the shared partition even if they are not scored).
+    """
+
+    pool: str
+    pool_pages: int
+    curves: dict[str, object] = field(default_factory=dict)
+    parameters: dict[str, MRCParameters] = field(default_factory=dict)
+    quotas: dict[str, int] = field(default_factory=dict)
+    demands: dict[str, int] = field(default_factory=dict)
+    pressures: dict[str, float] = field(default_factory=dict)
+    extra_demand: int = 0
+
+
+@dataclass
+class ClusterAssessment:
+    """Per-pool advisor verdicts over a whole proposed cluster state."""
+
+    pools: dict[str, PlanAssessment] = field(default_factory=dict)
+
+    @property
+    def all_acceptable(self) -> bool:
+        return all(pa.all_acceptable for pa in self.pools.values())
+
+    def failing(self) -> list[tuple[str, str]]:
+        """Every (pool, context) pair predicted above its acceptable ratio."""
+        return sorted(
+            (pool, key)
+            for pool, pa in self.pools.items()
+            for key in pa.failing()
+        )
+
+    def prediction_of(self, context_key: str) -> ClassPrediction | None:
+        for pa in self.pools.values():
+            if context_key in pa.predictions:
+                return pa.predictions[context_key]
+        return None
+
+
+def shared_partition_pages(
+    curves: dict[str, object],
+    quotas: dict[str, int],
+    pool_pages: int,
+    demands: dict[str, int] | None = None,
+    pressures: dict[str, float] | None = None,
+    extra_demand: int = 0,
+) -> dict[str, int]:
+    """Effective pages each *sharer* (non-quota'd class) gets in one pool.
+
+    When the sharers' combined total-memory demand fits the shared
+    remainder, every sharer sees the full remainder (the paper's optimistic
+    approximation — they time-share amicably).  When the demand overcommits
+    it, each sharer is cut down to a slice proportional to its page
+    pressure (falling back to its demand when no pressure is known), capped
+    at its own demand.  The slice is a *pessimistic* single-number stand-in
+    for LRU competition: it restores the contention signal the optimistic
+    model erases, which is exactly what the planner needs to see.
+    """
+    if pool_pages <= 0:
+        raise ValueError(f"pool size must be positive: {pool_pages}")
+    reserved = sum(quotas.values())
+    if reserved >= pool_pages:
+        raise ValueError(
+            f"quotas reserve {reserved} of {pool_pages} pages; nothing left "
+            "for the shared partition"
+        )
+    shared = pool_pages - reserved
+    demands = demands or {}
+    pressures = pressures or {}
+    sharers = sorted(key for key in curves if key not in quotas)
+    if not sharers:
+        return {}
+
+    def demand_of(key: str) -> int:
+        known = demands.get(key)
+        if known is not None and known > 0:
+            return known
+        depth = getattr(curves[key], "max_depth", None)
+        if depth:
+            return min(int(depth), shared)
+        return shared
+
+    total_demand = sum(demand_of(key) for key in sharers) + max(extra_demand, 0)
+    if total_demand <= shared:
+        return {key: shared for key in sharers}
+    weights = {key: max(pressures.get(key, 0.0), 0.0) for key in sharers}
+    if sum(weights.values()) <= 0.0:
+        weights = {key: float(demand_of(key)) for key in sharers}
+    total_weight = sum(weights.values())
+    # extra (unsummarised) demand competes for the pool too: scale the
+    # scored sharers' collective slice down by their share of the demand.
+    scored_demand = total_demand - max(extra_demand, 0)
+    budget = shared
+    if total_demand > 0 and scored_demand < total_demand:
+        budget = max(1, int(shared * scored_demand / total_demand))
+    return {
+        key: min(
+            demand_of(key),
+            max(1, int(budget * weights[key] / total_weight)),
+        )
+        for key in sharers
+    }
+
+
+def predict_pool_miss_ratios(
+    curves: dict[str, object],
+    quotas: dict[str, int],
+    pool_pages: int,
+    demands: dict[str, int] | None = None,
+    pressures: dict[str, float] | None = None,
+    extra_demand: int = 0,
+) -> dict[str, float]:
+    """Contention-aware variant of :func:`predict_miss_ratios`.
+
+    Quota'd classes are evaluated at their quota (exact, as before);
+    sharers at their effective shared-partition slice from
+    :func:`shared_partition_pages`.
+    """
+    unknown = sorted(set(quotas) - set(curves))
+    if unknown:
+        raise KeyError(f"no curves for quota'd contexts: {unknown}")
+    effective = shared_partition_pages(
+        curves, quotas, pool_pages,
+        demands=demands, pressures=pressures, extra_demand=extra_demand,
+    )
+    return {
+        key: curve.miss_ratio(quotas.get(key, effective.get(key, 1)))
+        for key, curve in sorted(curves.items())
+    }
+
+
+def assess_pool(assignment: PoolAssignment) -> PlanAssessment:
+    """Advisor verdict on one pool of a proposed cluster arrangement."""
+    effective = shared_partition_pages(
+        assignment.curves,
+        assignment.quotas,
+        assignment.pool_pages,
+        demands=assignment.demands,
+        pressures=assignment.pressures,
+        extra_demand=assignment.extra_demand,
+    )
+    assessment = PlanAssessment()
+    for key in sorted(assignment.curves):
+        pages = assignment.quotas.get(key, effective.get(key, 1))
+        params = assignment.parameters.get(key)
+        acceptable = params.acceptable_miss_ratio if params else 1.0
+        assessment.predictions[key] = ClassPrediction(
+            context_key=key,
+            memory_pages=pages,
+            predicted_miss_ratio=assignment.curves[key].miss_ratio(pages),
+            acceptable_miss_ratio=acceptable,
+        )
+    return assessment
+
+
+def assess_cluster(
+    assignments: dict[str, PoolAssignment],
+) -> ClusterAssessment:
+    """Assess every pool of a proposed cluster state (planner scoring)."""
+    assessment = ClusterAssessment()
+    for pool in sorted(assignments):
+        assessment.pools[pool] = assess_pool(assignments[pool])
     return assessment

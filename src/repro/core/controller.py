@@ -54,6 +54,11 @@ class ControllerConfig:
     rates analyse only the hashed subset of pages and rescale distances
     (see :mod:`repro.core.mrc_sampling`), cutting the recompute cost by
     roughly the same factor."""
+    use_planner: bool = False
+    """Route violations through the global capacity planner
+    (:mod:`repro.planner`) instead of the single-server quota path.  Off by
+    default: the flag must not change a byte of the classic behaviour."""
+    planner_seed: int = 0
     diagnosis: DiagnosisConfig = field(default_factory=DiagnosisConfig)
 
     def __post_init__(self) -> None:
@@ -107,7 +112,17 @@ class ClusterController:
         self._fine_action_tried: dict[str, bool] = {}
         self.reports: list[AppIntervalReport] = []
         self.diagnoses: list[Diagnosis] = []
+        self.plans: list = []  # CapacityPlans, when use_planner is on
         self._interval_index = 0
+
+    @property
+    def interval_index(self) -> int:
+        """Index of the next measurement interval to close."""
+        return self._interval_index
+
+    def violation_streak(self, app: str) -> int:
+        """Consecutive intervals ``app`` has violated its SLA (0 = met)."""
+        return self._violation_streak.get(app, 0)
 
     # ------------------------------------------------------------------ #
     # Wiring                                                             #
@@ -303,6 +318,9 @@ class ClusterController:
                 span.add_cost(1)
             return [action]
 
+        if self.config.use_planner:
+            return self._react_with_planner(app, timestamp)
+
         diagnosis = diagnose(
             app, scheduler, views, self.config.diagnosis, obs=self.obs
         )
@@ -352,6 +370,202 @@ class ClusterController:
         if applied:
             self._last_action_interval[app] = self._interval_index
         return actions
+
+    # ------------------------------------------------------------------ #
+    # Planner-driven reaction (ControllerConfig.use_planner)             #
+    # ------------------------------------------------------------------ #
+
+    def _react_with_planner(self, app: str, timestamp: float) -> list[Action]:
+        """Ask the global capacity planner instead of the quota path."""
+        # Imported lazily: the planner depends on core, so a module-level
+        # import would be a cycle — and the default path never needs it.
+        from ..planner import PlannerConfig, build_snapshot, search_plan
+
+        registry = self.obs.registry
+        with self.obs.tracer.span(
+            "planner.plan", attrs={"app": app}
+        ) as span:
+            snapshot = build_snapshot(self, app=app, obs=self.obs)
+            plan = search_plan(
+                snapshot,
+                PlannerConfig(seed=self.config.planner_seed),
+                obs=self.obs,
+            )
+            span.set_attr("steps", len(plan.steps))
+        self.plans.append(plan)
+        if registry.enabled:
+            registry.counter("planner.plans", app=app).inc()
+        streak = self._violation_streak.get(app, 0)
+        if plan.empty:
+            # Same escalation contract as the fine-grained path: a planner
+            # with no improving move left is "fine-grained exhausted".
+            exhausted = (
+                streak > self.config.fallback_patience
+                and self._fine_action_tried.get(app, False)
+            ) or streak > 2 * self.config.fallback_patience + 2
+            if not exhausted:
+                return []
+            action = Action(
+                kind=ActionKind.COARSE_FALLBACK,
+                app=app,
+                reason=(
+                    f"planner found no improving move after {streak} "
+                    "intervals of violation"
+                ),
+            )
+            with self.obs.tracer.span(
+                "actions.apply",
+                attrs={"app": app, "kinds": action.kind.value},
+            ) as span:
+                applied = self._apply(action, timestamp)
+                span.set_attr("applied", int(applied))
+                span.add_cost(1)
+            if applied:
+                self._last_action_interval[app] = self._interval_index
+            return [action]
+        actions = self.apply_plan(plan, timestamp)
+        if actions:
+            self._last_action_interval[app] = self._interval_index
+            self._fine_action_tried[app] = True
+        return actions
+
+    def apply_plan(self, plan, timestamp: float) -> list[Action]:
+        """Actuate a :class:`~repro.planner.plan.CapacityPlan`.
+
+        Steps are applied in plan order; ADD_REPLICA steps materialise the
+        plan's placeholder pools and later steps resolve against the engines
+        they created.  Returns the actions actually applied (releases follow
+        the scale-down precedent and emit no action).
+        """
+        from ..planner.plan import PlanStepKind
+
+        placeholder_engines: dict[str, str] = {}
+        actions: list[Action] = []
+        with self.obs.tracer.span(
+            "planner.apply", attrs={"steps": len(plan.steps)}
+        ) as span:
+            for step in plan.steps:
+                action = self._apply_plan_step(
+                    step, PlanStepKind, placeholder_engines, timestamp
+                )
+                if action is not None:
+                    actions.append(action)
+            span.set_attr("applied", len(actions))
+            span.add_cost(len(plan.steps))
+        return actions
+
+    def _engine_replica(self, engine_name: str, app: str | None = None):
+        """(scheduler, replica) serving ``engine_name``, optionally for one
+        application.  Raises ``KeyError`` when no replica matches."""
+        for name in sorted(self.schedulers):
+            if app is not None and name != app:
+                continue
+            scheduler = self.schedulers[name]
+            for replica_name in scheduler.replica_names():
+                replica = scheduler.replicas[replica_name]
+                if replica.engine.name == engine_name:
+                    return scheduler, replica
+        raise KeyError(
+            f"no replica of {app or 'any app'} serves engine {engine_name!r}"
+        )
+
+    def _apply_plan_step(
+        self, step, kinds, placeholder_engines: dict[str, str], timestamp: float
+    ) -> Action | None:
+        if step.kind is kinds.ADD_REPLICA:
+            scheduler = self.schedulers[step.app]
+            pool_pages = max(
+                (
+                    replica.engine.pool_pages
+                    for replica in scheduler.replicas.values()
+                ),
+                default=8192,
+            )
+            try:
+                replica = self.resource_manager.allocate_replica(
+                    scheduler,
+                    timestamp,
+                    pool_pages=pool_pages,
+                    server=step.server,
+                )
+            except (RuntimeError, KeyError):
+                return None  # server taken since planning; skip the branch
+            self.track_replica(replica)
+            placeholder_engines[step.pool] = replica.engine.name
+            return Action(
+                kind=ActionKind.PROVISION_REPLICA,
+                app=step.app,
+                reason=f"planner: {step.rationale}",
+                replica=replica.name,
+            )
+        if step.kind is kinds.MIGRATE_CLASS:
+            engine_name = placeholder_engines.get(step.pool, step.pool)
+            try:
+                scheduler, replica = self._engine_replica(
+                    engine_name, app=step.app
+                )
+            except KeyError:
+                return None  # target pool never materialised
+            if scheduler.placement_of(step.context_key) == [replica.name]:
+                return None  # already exactly there
+            scheduler.move_class(step.context_key, replica.name)
+            return Action(
+                kind=ActionKind.RESCHEDULE_CLASS,
+                app=step.app,
+                reason=f"planner: {step.rationale}",
+                replica=replica.name,
+                context_key=step.context_key,
+            )
+        if step.kind is kinds.SET_QUOTA:
+            engine_name = placeholder_engines.get(step.pool, step.pool)
+            try:
+                _, replica = self._engine_replica(engine_name)
+            except KeyError:
+                return None
+            current = replica.engine.quotas.get(step.context_key)
+            # Same thrash guard as the quota path: re-imposing a
+            # near-identical quota only cold-restarts the partition.
+            if current is not None and abs(step.pages - current) <= 0.15 * current:
+                return None
+            replica.engine.set_quota(step.context_key, step.pages)
+            return Action(
+                kind=ActionKind.APPLY_QUOTAS,
+                app=step.app,
+                reason=f"planner: {step.rationale}",
+                replica=replica.name,
+                quotas=((step.context_key, step.pages),),
+            )
+        if step.kind is kinds.CLEAR_QUOTA:
+            engine_name = placeholder_engines.get(step.pool, step.pool)
+            try:
+                _, replica = self._engine_replica(engine_name)
+            except KeyError:
+                return None
+            if step.context_key not in replica.engine.quotas:
+                return None
+            replica.engine.clear_quota(step.context_key)
+            return Action(
+                kind=ActionKind.APPLY_QUOTAS,
+                app=step.app,
+                reason=f"planner: {step.rationale}",
+                replica=replica.name,
+            )
+        if step.kind is kinds.RELEASE_REPLICA:
+            # Mirrors _maybe_scale_down: releases change the allocation
+            # timeline (ResourceManager.history) but emit no Action.
+            try:
+                scheduler, replica = self._engine_replica(
+                    step.pool, app=step.app
+                )
+            except KeyError:
+                return None
+            if len(scheduler.replicas) <= 1:
+                return None
+            self.resource_manager.release_replica(
+                scheduler, replica.name, timestamp
+            )
+            return None
+        return None
 
     def _degraded_evidence(self, app: str) -> str | None:
         """The quarantine reason when any analyzer serving ``app`` closed a

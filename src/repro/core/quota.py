@@ -114,10 +114,22 @@ def find_quotas(
     shared = pool_pages - sum(allocation.values())
     if shared <= 0:
         # Quotas may not consume the entire pool: the shared partition needs
-        # at least one page.  Reclaim it from the largest quota if possible.
-        largest = max(allocation, key=lambda key: (allocation[key], key))
-        if allocation[largest] <= 1:
-            return QuotaPlan(feasible=False, shortfall=1 - shared)
-        allocation[largest] -= 1 - shared
+        # at least one page.  Reclaim it from quotas with slack above their
+        # floor (largest slack first) — never from the floors themselves,
+        # which are the plan's acceptable-miss-ratio guarantee.
+        deficit = 1 - shared
+        for key in sorted(
+            allocation,
+            key=lambda key: (floors[key] - allocation[key], key),
+        ):
+            if deficit <= 0:
+                break
+            slack = allocation[key] - floors[key]
+            take = min(slack, deficit)
+            if take > 0:
+                allocation[key] -= take
+                deficit -= take
+        if deficit > 0:
+            return QuotaPlan(feasible=False, shortfall=deficit)
         shared = 1
     return QuotaPlan(feasible=True, quotas=allocation, shared_pages=shared)

@@ -1,6 +1,6 @@
 """Benchmark scenario registry and baseline harness.
 
-Twelve named scenarios — one per file of the ``benchmarks/`` pytest suite —
+Fourteen named scenarios — mirroring the ``benchmarks/`` pytest suite —
 each a module-level zero-argument function returning the scenario's
 **artefact metrics** as plain JSON types: the deterministic numbers the
 corresponding benchmark asserts on (latencies, quotas, feasibility flags),
@@ -259,6 +259,12 @@ def bench_chaos_failover() -> dict:
     }
 
 
+def bench_planner_sweep() -> dict:
+    from .planner_sweep import run_planner_sweep
+
+    return to_jsonable(run_planner_sweep())
+
+
 BENCH_SCENARIOS = {
     "fig3_cpu_saturation": bench_fig3_cpu_saturation,
     "fig4_index_drop": bench_fig4_index_drop,
@@ -273,6 +279,7 @@ BENCH_SCENARIOS = {
     "ablations": bench_ablations,
     "ablation_sampled_mrc": bench_ablation_sampled_mrc,
     "chaos_failover": bench_chaos_failover,
+    "planner_sweep": bench_planner_sweep,
 }
 
 PYTEST_BENCH_ALIASES = {

@@ -1,0 +1,246 @@
+"""Planner-vs-quota sweep on the memory-contention scenario.
+
+Runs the Table 2 contention story twice — once with the classic
+single-server quota/reschedule path, once with the global capacity planner
+(``ControllerConfig(use_planner=True)``) — and measures how many contention
+intervals each takes to act and how well TPC-W recovers.  A third, frozen
+copy of the scenario provides the *planning point*: the controller monitors
+but never reacts (its startup grace is set beyond the horizon), so the
+analyzers hold contended evidence while the cluster is still untouched.
+``repro plan`` and the plan validator both plan against this frozen copy
+and replay against a fresh rebuild of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.server import ServerSpec
+from ..core.controller import ControllerConfig
+from ..core.diagnosis import ActionKind
+from ..obs import NULL_OBS, Observability
+from ..planner import (
+    CapacityPlan,
+    PlannerConfig,
+    PlanValidation,
+    build_snapshot,
+    search_plan,
+    validate_plan,
+)
+from ..workloads.load import ConstantLoad
+from ..workloads.rubis import build_rubis
+from ..workloads.tpcw import build_tpcw
+from .index_drop import CPU_SCALE, EXPERIMENT_COST_MODEL, scale_cpu_costs
+from .runner import ClusterHarness
+
+__all__ = [
+    "PlannerSweepConfig",
+    "ModeOutcome",
+    "PlannerSweepResult",
+    "planning_scenario",
+    "plan_at_planning_point",
+    "run_planner_sweep",
+]
+
+# The controller must watch without reacting in the frozen planning copy;
+# a startup grace far past the horizon suppresses every reaction.
+_NEVER_REACT = 10_000
+
+_ACTION_KINDS = {
+    ActionKind.APPLY_QUOTAS,
+    ActionKind.RESCHEDULE_CLASS,
+    ActionKind.PROVISION_REPLICA,
+    ActionKind.COARSE_FALLBACK,
+}
+
+
+@dataclass(frozen=True)
+class PlannerSweepConfig:
+    """Tunables; defaults mirror the Table 2 scenario."""
+
+    tpcw_clients: int = 60
+    rubis_clients: int = 300
+    baseline_intervals: int = 10
+    contention_intervals: int = 8
+    recovery_intervals: int = 8
+    probe_intervals: int = 3
+    """Contended intervals the frozen planning copy runs before the
+    snapshot is taken (enough for the analyzers to see the contention)."""
+    pool_pages: int = 8192
+    sla_latency: float = 1.0
+    seed: int = 7
+    planner_seed: int = 0
+    warmup_intervals: int = 2
+    measure_intervals: int = 4
+
+
+@dataclass
+class ModeOutcome:
+    """What one controller mode did with the contention."""
+
+    mode: str
+    intervals_to_action: int = -1
+    """Contention intervals until the first corrective action (-1 = never)."""
+    action_kinds: list[str] = field(default_factory=list)
+    contention_latency: float = 0.0
+    recovered_latency: float = 0.0
+    recovered_sla_met: bool = False
+
+
+@dataclass
+class PlannerSweepResult:
+    """The sweep's artefact: both modes plus the plan's own quality."""
+
+    quota: ModeOutcome = field(default_factory=lambda: ModeOutcome("quota"))
+    planner: ModeOutcome = field(
+        default_factory=lambda: ModeOutcome("planner")
+    )
+    plan_digest: str = ""
+    plan_steps: int = 0
+    plan_step_kinds: list[str] = field(default_factory=list)
+    validation_ok: bool = False
+    validation_max_error: float = 0.0
+    validation_checks: int = 0
+
+
+def _build_harness(
+    config: PlannerSweepConfig,
+    controller_config: ControllerConfig,
+    obs: Observability = NULL_OBS,
+) -> ClusterHarness:
+    tpcw = build_tpcw(seed=config.seed)
+    rubis = build_rubis(seed=config.seed + 4)
+    scale_cpu_costs(tpcw, CPU_SCALE)
+    scale_cpu_costs(rubis, CPU_SCALE)
+    return ClusterHarness.shared_engine(
+        [tpcw, rubis],
+        spare_servers=2,
+        pool_pages=config.pool_pages,
+        clients={tpcw.app: config.tpcw_clients, rubis.app: 0},
+        sla_latency=config.sla_latency,
+        cost_model=EXPERIMENT_COST_MODEL,
+        config=controller_config,
+        server_spec=ServerSpec(cores=16),
+        obs=obs,
+    )
+
+
+def _start_contention(
+    harness: ClusterHarness, config: PlannerSweepConfig
+) -> None:
+    rubis_app = build_rubis().app
+    harness.drivers[rubis_app].load = ConstantLoad(config.rubis_clients)
+
+
+def _run_mode(
+    config: PlannerSweepConfig, use_planner: bool, obs: Observability
+) -> ModeOutcome:
+    controller_config = ControllerConfig(
+        fallback_patience=5,
+        use_planner=use_planner,
+        planner_seed=config.planner_seed,
+    )
+    harness = _build_harness(config, controller_config, obs=obs)
+    tpcw_app = build_tpcw().app
+    rubis_app = build_rubis().app
+    outcome = ModeOutcome(mode="planner" if use_planner else "quota")
+
+    harness.run(intervals=config.baseline_intervals)
+    _start_contention(harness, config)
+    kinds: set[str] = set()
+    for index in range(config.contention_intervals):
+        step = harness.run(intervals=1)
+        report = step.final_report(tpcw_app)
+        outcome.contention_latency = max(
+            outcome.contention_latency, report.mean_latency
+        )
+        acted = False
+        for app in (tpcw_app, rubis_app):
+            for action in step.final_report(app).actions:
+                if action.kind in _ACTION_KINDS:
+                    kinds.add(action.kind.value)
+                    acted = True
+        if acted and outcome.intervals_to_action < 0:
+            outcome.intervals_to_action = index + 1
+        if acted:
+            break
+    outcome.action_kinds = sorted(kinds)
+
+    recovery = harness.run(intervals=config.recovery_intervals)
+    outcome.recovered_latency = recovery.steady_mean_latency(tpcw_app)
+    outcome.recovered_sla_met = (
+        outcome.recovered_latency <= config.sla_latency
+    )
+    return outcome
+
+
+def planning_scenario(
+    config: PlannerSweepConfig | None = None,
+    obs: Observability = NULL_OBS,
+) -> ClusterHarness:
+    """The frozen planning point: contended cluster, no reactions yet.
+
+    Deterministic — calling this twice yields byte-identical cluster state,
+    which is what lets the validator *fork by rebuilding*.
+    """
+    config = config if config is not None else PlannerSweepConfig()
+    controller_config = ControllerConfig(
+        fallback_patience=5,
+        startup_grace_intervals=_NEVER_REACT,
+    )
+    harness = _build_harness(config, controller_config, obs=obs)
+    harness.run(intervals=config.baseline_intervals)
+    _start_contention(harness, config)
+    harness.run(intervals=config.probe_intervals)
+    return harness
+
+
+def plan_at_planning_point(
+    config: PlannerSweepConfig | None = None,
+    obs: Observability = NULL_OBS,
+) -> tuple[CapacityPlan, ClusterHarness]:
+    """Build the frozen scenario, snapshot it, and search a plan."""
+    config = config if config is not None else PlannerSweepConfig()
+    harness = planning_scenario(config, obs=obs)
+    tpcw_app = build_tpcw().app
+    snapshot = build_snapshot(harness.controller, app=tpcw_app, obs=obs)
+    plan = search_plan(
+        snapshot, PlannerConfig(seed=config.planner_seed), obs=obs
+    )
+    return plan, harness
+
+
+def validate_at_planning_point(
+    plan: CapacityPlan,
+    config: PlannerSweepConfig | None = None,
+    obs: Observability = NULL_OBS,
+) -> PlanValidation:
+    """Replay ``plan`` against a fresh rebuild of the planning point."""
+    config = config if config is not None else PlannerSweepConfig()
+    return validate_plan(
+        plan,
+        lambda: planning_scenario(config),
+        warmup_intervals=config.warmup_intervals,
+        measure_intervals=config.measure_intervals,
+        obs=obs,
+    )
+
+
+def run_planner_sweep(
+    config: PlannerSweepConfig | None = None,
+    obs: Observability = NULL_OBS,
+) -> PlannerSweepResult:
+    """Run both modes plus plan-quality validation; the bench artefact."""
+    config = config if config is not None else PlannerSweepConfig()
+    result = PlannerSweepResult()
+    result.quota = _run_mode(config, use_planner=False, obs=obs)
+    result.planner = _run_mode(config, use_planner=True, obs=obs)
+    plan, _ = plan_at_planning_point(config, obs=obs)
+    result.plan_digest = plan.digest()
+    result.plan_steps = len(plan.steps)
+    result.plan_step_kinds = sorted({s.kind.value for s in plan.steps})
+    validation = validate_at_planning_point(plan, config, obs=obs)
+    result.validation_ok = validation.ok
+    result.validation_max_error = validation.max_relative_error
+    result.validation_checks = len(validation.checks)
+    return result

@@ -8,7 +8,11 @@ operator of the retuning pipeline wants first:
   units per pipeline stage, ranked by work;
 * **MRC recomputations per application** — the paper's expensive step, and
   the laziness the design is protecting;
-* **action-kind histogram** — what the controller actually decided.
+* **action-kind histogram** — what the controller actually decided;
+* **machine-allocation timeline** — the resource manager's replica
+  allocate/release events (Figure 3's currency), when the input telemetry
+  carries ``allocation`` records from
+  :func:`repro.analysis.export.allocation_records`.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ class TelemetrySummary:
     meta: dict = field(default_factory=dict)
     spans: list[dict] = field(default_factory=list)
     metrics: list[dict] = field(default_factory=list)
+    allocations: list[dict] = field(default_factory=list)
 
     @classmethod
     def from_lines(cls, lines: Iterable[str]) -> "TelemetrySummary":
@@ -59,6 +64,8 @@ class TelemetrySummary:
                 summary.spans.append(record)
             elif kind == "metric":
                 summary.metrics.append(record)
+            elif kind == "allocation":
+                summary.allocations.append(record)
             else:
                 raise ValueError(f"unknown telemetry record type: {kind!r}")
         return summary
@@ -130,7 +137,8 @@ class TelemetrySummary:
 
     def render(self) -> str:
         sections = [self._render_meta(), self._render_stages(),
-                    self._render_mrc(), self._render_actions()]
+                    self._render_mrc(), self._render_actions(),
+                    self._render_allocations()]
         return "\n\n".join(section for section in sections if section)
 
     def _render_meta(self) -> str:
@@ -194,6 +202,28 @@ class TelemetrySummary:
             )
             rendered += f"\n\nSLA violations per app: {noted}"
         return rendered
+
+
+    def _render_allocations(self) -> str:
+        # Only rendered when allocation records are present: fault-free
+        # telemetry exports carry none, keeping their goldens untouched.
+        if not self.allocations:
+            return ""
+        table = Table(
+            title="Machine allocation timeline",
+            headers=["time (s)", "app", "action", "server", "replica",
+                     "replicas after"],
+        )
+        for event in self.allocations:
+            table.add_row(
+                f"{event.get('timestamp', 0.0):.1f}",
+                event.get("app", "?"),
+                event.get("action", "?"),
+                event.get("server", "?"),
+                event.get("replica", "?"),
+                event.get("replica_count", "?"),
+            )
+        return table.render()
 
 
 def summarize_telemetry(lines: Iterable[str]) -> TelemetrySummary:

@@ -1,0 +1,46 @@
+"""Global capacity planner: snapshot -> search -> plan -> validate.
+
+The per-server primitives (MRC analysis, the quota heuristic, the
+scheduler's class placement, the resource manager's replica pool) decide
+one server at a time.  This package turns them into a cluster-wide what-if
+planner: :func:`build_snapshot` freezes the cluster into pure data,
+:func:`search_plan` hill-climbs over candidate moves scored by the
+cluster-scope advisor, the result is an explainable
+:class:`CapacityPlan`, and :func:`validate_plan` replays it in a forked
+harness to compare predicted miss ratios against simulated ones.
+
+Enabled in the controller with ``ControllerConfig(use_planner=True)``;
+with the flag off (the default) nothing in this package is imported.
+"""
+
+from .model import (
+    AppState,
+    ClassState,
+    ClusterSnapshot,
+    CurveSlice,
+    PoolState,
+    WorkloadSummary,
+    build_snapshot,
+)
+from .plan import CapacityPlan, ClassOutlook, PlanStep, PlanStepKind
+from .search import PlannerConfig, search_plan
+from .validate import ClassCheck, PlanValidation, validate_plan
+
+__all__ = [
+    "AppState",
+    "CapacityPlan",
+    "ClassCheck",
+    "ClassOutlook",
+    "ClassState",
+    "ClusterSnapshot",
+    "CurveSlice",
+    "PlanStep",
+    "PlanStepKind",
+    "PlanValidation",
+    "PlannerConfig",
+    "PoolState",
+    "WorkloadSummary",
+    "build_snapshot",
+    "search_plan",
+    "validate_plan",
+]

@@ -1,0 +1,636 @@
+"""Deterministic candidate-move generation and greedy plan search.
+
+The search walks the space of cluster arrangements one move at a time:
+
+* **migrate** a class to another pool its application has (or could have —
+  each idle server contributes a placeholder pool ``new:<app>:<server>``
+  that an ADD_REPLICA step materialises),
+* **swap** two classes between pools,
+* **set / clear a quota** for a class inside its pool (candidate sizes are
+  the class's MRC knees: acceptable and total memory),
+* **release** a replica whose pool no longer serves any planned class.
+
+Each candidate state is scored with the cluster-scope advisor
+(:func:`repro.core.assess_cluster`): the score is the pressure-weighted sum
+of predicted miss-ratio excess over each class's acceptable ratio, plus a
+per-replica holding cost, plus the amortised cold-partition cost of every
+move already taken (a migrated class or rebuilt partition refills its
+working set from storage at ``io_time_per_page`` per page — PR 4's recovery
+assumption).  Greedy hill-climbing applies the best strictly-improving move
+until none exists or ``max_steps`` is reached.
+
+Determinism: moves are generated in sorted order, compared on exact score
+first, and ties are broken by ``sha256(seed:move_key)`` — so the same
+snapshot and seed always yield the byte-identical plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..core.advisor import ClusterAssessment, PoolAssignment, assess_cluster
+from ..obs import NULL_OBS, Observability
+from .model import ClusterSnapshot, WorkloadSummary
+from .plan import CapacityPlan, ClassOutlook, PlanStep, PlanStepKind
+
+__all__ = ["PlannerConfig", "search_plan"]
+
+NEW_POOL_PREFIX = "new:"
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Search tunables.  All defaults are deliberately conservative."""
+
+    seed: int = 0
+    max_steps: int = 6
+    summary_k: int = 12
+    slice_points: int = 24
+    replica_weight: float = 0.05
+    """Holding cost per provisioned replica, in score units — what a new
+    replica must beat in predicted miss-ratio improvement to be worth it."""
+    amortization_seconds: float = 600.0
+    """Horizon over which one-off migration / partition-rebuild costs are
+    amortised when compared against steady-state miss-ratio gains."""
+    min_quota_pages: int = 64
+    epsilon: float = 1e-6
+    """Minimum score improvement for a move to be applied."""
+
+    def __post_init__(self) -> None:
+        if self.max_steps < 0:
+            raise ValueError("max steps must be non-negative")
+        if self.summary_k < 1:
+            raise ValueError("summary k must be at least 1")
+        if self.amortization_seconds <= 0:
+            raise ValueError("amortization horizon must be positive")
+        if self.min_quota_pages < 1:
+            raise ValueError("min quota must be at least one page")
+
+
+def new_pool_id(app: str, server: str) -> str:
+    return f"{NEW_POOL_PREFIX}{app}:{server}"
+
+
+def split_new_pool_id(pool_id: str) -> tuple[str, str]:
+    """(app, server) of a placeholder pool id."""
+    app, server = pool_id[len(NEW_POOL_PREFIX):].split(":", 1)
+    return app, server
+
+
+@dataclass(frozen=True)
+class _Move:
+    """One candidate change to the planning state."""
+
+    kind: PlanStepKind
+    context_key: str | None = None
+    other_key: str | None = None  # swap partner
+    pool: str | None = None
+    pages: int | None = None
+
+    def key(self) -> str:
+        return (
+            f"{self.kind.value}|{self.context_key or ''}|"
+            f"{self.other_key or ''}|{self.pool or ''}|{self.pages or 0}"
+        )
+
+
+@dataclass
+class _State:
+    """Mutable search state: who lives where, with what quota."""
+
+    assignment: dict[str, str]
+    quotas: dict[str, dict[str, int]]
+    used_placeholders: set[str] = field(default_factory=set)
+    released: set[str] = field(default_factory=set)
+    move_cost: float = 0.0
+
+    def clone(self) -> "_State":
+        return _State(
+            assignment=dict(self.assignment),
+            quotas={pool: dict(q) for pool, q in self.quotas.items()},
+            used_placeholders=set(self.used_placeholders),
+            released=set(self.released),
+            move_cost=self.move_cost,
+        )
+
+
+class _Planner:
+    def __init__(
+        self,
+        snapshot: ClusterSnapshot,
+        summary: WorkloadSummary,
+        config: PlannerConfig,
+    ) -> None:
+        self.snapshot = snapshot
+        self.summary = summary
+        self.config = config
+        self.keys = list(summary.top)
+        self.amortize = config.amortization_seconds
+        # Per-pool page budget net of quotas held by classes the summary
+        # dropped (they keep their reservation whatever the plan does), and
+        # the shared-partition demand those dropped classes still exert.
+        self.base_reserved: dict[str, int] = {}
+        self.extra_demand: dict[str, int] = {}
+        summarised = set(self.keys)
+        for pool in snapshot.pools:
+            reserved = 0
+            extra = 0
+            quota_map = pool.quota_map()
+            for key in pool.classes:
+                if key in summarised:
+                    continue
+                if key in quota_map:
+                    reserved += quota_map[key]
+                else:
+                    extra += self._demand_of_unsummarised(key)
+            self.base_reserved[pool.engine] = reserved
+            self.extra_demand[pool.engine] = extra
+        # Pool sizes: existing pools as reported; placeholders inherit the
+        # largest existing pool (what allocate_replica will be asked for).
+        self.pool_pages: dict[str, int] = {
+            pool.engine: pool.pool_pages for pool in snapshot.pools
+        }
+        self.placeholder_pages = max(self.pool_pages.values(), default=8192)
+        # Replica count the holding cost starts from.
+        self.base_replicas = sum(len(pool.replicas) for pool in snapshot.pools)
+
+    # -- demand helpers ------------------------------------------------- #
+
+    def _demand_of_unsummarised(self, key: str) -> int:
+        try:
+            state = self.snapshot.class_state(key)
+        except KeyError:
+            return 0
+        if state.params is not None:
+            return state.params.total_memory
+        return 0
+
+    def _demand_of(self, key: str) -> int:
+        state = self.snapshot.class_state(key)
+        if state.params is not None:
+            return state.params.total_memory
+        return self.summary.slices[key].max_depth
+
+    # -- initial state --------------------------------------------------- #
+
+    def initial_state(self) -> _State:
+        assignment = {}
+        for key in self.keys:
+            assignment[key] = self.snapshot.class_state(key).pool
+        quotas: dict[str, dict[str, int]] = {}
+        for pool in self.snapshot.pools:
+            quota_map = pool.quota_map()
+            quotas[pool.engine] = {
+                key: pages
+                for key, pages in quota_map.items()
+                if key in self.summary.slices
+            }
+        return _State(assignment=assignment, quotas=quotas)
+
+    # -- scoring --------------------------------------------------------- #
+
+    def pool_budget(self, pool_id: str) -> int:
+        pages = self.pool_pages.get(pool_id, self.placeholder_pages)
+        return pages - self.base_reserved.get(pool_id, 0)
+
+    def assess(self, state: _State) -> ClusterAssessment:
+        pools: dict[str, list[str]] = {}
+        for key, pool_id in state.assignment.items():
+            pools.setdefault(pool_id, []).append(key)
+        assignments: dict[str, PoolAssignment] = {}
+        for pool_id in sorted(pools):
+            keys = sorted(pools[pool_id])
+            quotas = {
+                key: pages
+                for key, pages in state.quotas.get(pool_id, {}).items()
+                if key in pools[pool_id]
+            }
+            assignments[pool_id] = PoolAssignment(
+                pool=pool_id,
+                pool_pages=self.pool_budget(pool_id),
+                curves={key: self.summary.slices[key] for key in keys},
+                parameters={
+                    key: params
+                    for key in keys
+                    if (params := self.snapshot.class_state(key).params)
+                    is not None
+                },
+                quotas=quotas,
+                demands={key: self._demand_of(key) for key in keys},
+                pressures={
+                    key: self.summary.pressures.get(key, 0.0) for key in keys
+                },
+                extra_demand=self.extra_demand.get(pool_id, 0),
+            )
+        return assess_cluster(assignments)
+
+    def score(self, state: _State) -> float:
+        assessment = self.assess(state)
+        total_pressure = sum(self.summary.pressures.values()) or 1.0
+        violation = 0.0
+        for key in self.keys:
+            prediction = assessment.prediction_of(key)
+            if prediction is None:
+                continue
+            excess = max(
+                0.0,
+                prediction.predicted_miss_ratio
+                - prediction.acceptable_miss_ratio,
+            )
+            violation += (
+                self.summary.pressures.get(key, 0.0) / total_pressure
+            ) * excess
+        replicas = (
+            self.base_replicas
+            + len(state.used_placeholders)
+            - len(state.released)
+        )
+        return (
+            violation
+            + self.config.replica_weight * replicas
+            + state.move_cost
+        )
+
+    # -- move generation -------------------------------------------------- #
+
+    def _pools_for_app(self, app: str) -> list[str]:
+        """Existing pools the app has a replica in, online only."""
+        return sorted(
+            pool.engine
+            for pool in self.snapshot.pools
+            if pool.online and any(owner == app for owner, _ in pool.replicas)
+        )
+
+    def moves(self, state: _State) -> list[_Move]:
+        moves: list[_Move] = []
+        placeholder_apps = {
+            pool_id: split_new_pool_id(pool_id)[0]
+            for pool_id in state.used_placeholders
+        }
+        for key in self.keys:
+            current = state.assignment[key]
+            app = self.snapshot.class_state(key).app
+            targets = [
+                pool_id
+                for pool_id in self._pools_for_app(app)
+                if pool_id != current and pool_id not in state.released
+            ]
+            for server in self.snapshot.idle_servers:
+                pool_id = new_pool_id(app, server)
+                if pool_id != current:
+                    targets.append(pool_id)
+            for pool_id in state.used_placeholders:
+                if pool_id != current and placeholder_apps[pool_id] == app:
+                    if pool_id not in targets:
+                        targets.append(pool_id)
+            for pool_id in sorted(set(targets)):
+                moves.append(
+                    _Move(
+                        kind=PlanStepKind.MIGRATE_CLASS,
+                        context_key=key,
+                        pool=pool_id,
+                    )
+                )
+            # Quota candidates: the class's MRC knees inside its pool.
+            params = self.snapshot.class_state(key).params
+            current_quota = state.quotas.get(current, {}).get(key)
+            if params is not None:
+                budget = self.pool_budget(current)
+                others = sum(
+                    pages
+                    for other, pages in state.quotas.get(current, {}).items()
+                    if other != key
+                )
+                ceiling = budget - others - 1  # leave a shared page
+                for pages in (params.acceptable_memory, params.total_memory):
+                    pages = max(pages, self.config.min_quota_pages)
+                    if pages > ceiling or pages == current_quota:
+                        continue
+                    moves.append(
+                        _Move(
+                            kind=PlanStepKind.SET_QUOTA,
+                            context_key=key,
+                            pool=current,
+                            pages=pages,
+                        )
+                    )
+            if current_quota is not None:
+                moves.append(
+                    _Move(
+                        kind=PlanStepKind.CLEAR_QUOTA,
+                        context_key=key,
+                        pool=current,
+                    )
+                )
+        # Swaps: two classes of the same app in different pools trade homes.
+        for i, key_a in enumerate(self.keys):
+            for key_b in self.keys[i + 1:]:
+                state_a = self.snapshot.class_state(key_a)
+                state_b = self.snapshot.class_state(key_b)
+                if state_a.app != state_b.app:
+                    continue
+                if state.assignment[key_a] == state.assignment[key_b]:
+                    continue
+                moves.append(
+                    _Move(
+                        kind=PlanStepKind.MIGRATE_CLASS,
+                        context_key=key_a,
+                        other_key=key_b,
+                    )
+                )
+        # Release: an online single-app pool that no longer plans any class,
+        # when its application keeps at least one other pool.
+        assigned_pools = set(state.assignment.values())
+        for pool in self.snapshot.pools:
+            if not pool.online or pool.engine in state.released:
+                continue
+            apps = {owner for owner, _ in pool.replicas}
+            if len(apps) != 1:
+                continue
+            (app,) = apps
+            if pool.engine in assigned_pools:
+                continue
+            if pool.classes and any(
+                key not in self.summary.slices for key in pool.classes
+            ):
+                continue  # unsummarised residents still need it
+            remaining = [
+                p
+                for p in self._pools_for_app(app)
+                if p != pool.engine and p not in state.released
+            ]
+            if not remaining:
+                continue
+            moves.append(
+                _Move(kind=PlanStepKind.RELEASE_REPLICA, pool=pool.engine)
+            )
+        return moves
+
+    # -- move application -------------------------------------------------- #
+
+    def apply_move(self, state: _State, move: _Move) -> _State:
+        after = state.clone()
+        if move.kind is PlanStepKind.MIGRATE_CLASS:
+            if move.other_key is not None:  # swap
+                pool_a = after.assignment[move.context_key]
+                pool_b = after.assignment[move.other_key]
+                after.assignment[move.context_key] = pool_b
+                after.assignment[move.other_key] = pool_a
+                for key, old_pool in (
+                    (move.context_key, pool_a),
+                    (move.other_key, pool_b),
+                ):
+                    after.quotas.get(old_pool, {}).pop(key, None)
+                    after.move_cost += self._migration_cost(key)
+            else:
+                old_pool = after.assignment[move.context_key]
+                after.assignment[move.context_key] = move.pool
+                after.quotas.get(old_pool, {}).pop(move.context_key, None)
+                if move.pool.startswith(NEW_POOL_PREFIX):
+                    after.used_placeholders.add(move.pool)
+                after.move_cost += self._migration_cost(move.context_key)
+            # Drop placeholders no pool uses any more.
+            still_used = set(after.assignment.values())
+            after.used_placeholders &= still_used
+        elif move.kind is PlanStepKind.SET_QUOTA:
+            after.quotas.setdefault(move.pool, {})[move.context_key] = (
+                move.pages
+            )
+            after.move_cost += self._rebuild_cost(move.pages)
+        elif move.kind is PlanStepKind.CLEAR_QUOTA:
+            after.quotas.get(move.pool, {}).pop(move.context_key, None)
+        elif move.kind is PlanStepKind.RELEASE_REPLICA:
+            after.released.add(move.pool)
+        return after
+
+    def _migration_cost(self, key: str) -> float:
+        """Amortised cold-partition cost of moving one class (seconds of
+        storage refill over the amortisation horizon)."""
+        state = self.snapshot.class_state(key)
+        pages = (
+            state.params.acceptable_memory
+            if state.params is not None
+            else self.summary.slices[key].max_depth
+        )
+        return (pages * self.snapshot.io_time_per_page) / self.amortize
+
+    def _rebuild_cost(self, pages: int) -> float:
+        return (pages * self.snapshot.io_time_per_page) / self.amortize
+
+    # -- step rendering ---------------------------------------------------- #
+
+    def describe_move(
+        self,
+        move: _Move,
+        before: ClusterAssessment,
+        after: ClusterAssessment,
+        state_after: _State,
+    ) -> list[PlanStep]:
+        def ratios(key: str) -> tuple[float | None, float | None]:
+            b = before.prediction_of(key)
+            a = after.prediction_of(key)
+            return (
+                b.predicted_miss_ratio if b else None,
+                a.predicted_miss_ratio if a else None,
+            )
+
+        if move.kind is PlanStepKind.MIGRATE_CLASS and move.other_key:
+            steps = []
+            for key in (move.context_key, move.other_key):
+                b, a = ratios(key)
+                steps.append(
+                    PlanStep(
+                        kind=PlanStepKind.MIGRATE_CLASS,
+                        app=self.snapshot.class_state(key).app,
+                        context_key=key,
+                        pool=state_after.assignment[key],
+                        predicted_before=b,
+                        predicted_after=a,
+                        rationale="swap partner: trades pools with "
+                        + (
+                            move.other_key
+                            if key == move.context_key
+                            else move.context_key
+                        ),
+                    )
+                )
+            return steps
+        app = (
+            self.snapshot.class_state(move.context_key).app
+            if move.context_key
+            else ""
+        )
+        if move.kind is PlanStepKind.MIGRATE_CLASS:
+            b, a = ratios(move.context_key)
+            return [
+                PlanStep(
+                    kind=PlanStepKind.MIGRATE_CLASS,
+                    app=app,
+                    context_key=move.context_key,
+                    pool=move.pool,
+                    predicted_before=b,
+                    predicted_after=a,
+                    rationale="relieves contention in its current pool",
+                )
+            ]
+        if move.kind is PlanStepKind.SET_QUOTA:
+            b, a = ratios(move.context_key)
+            return [
+                PlanStep(
+                    kind=PlanStepKind.SET_QUOTA,
+                    app=app,
+                    context_key=move.context_key,
+                    pool=move.pool,
+                    pages=move.pages,
+                    predicted_before=b,
+                    predicted_after=a,
+                    rationale="dedicated partition caps its pool share",
+                )
+            ]
+        if move.kind is PlanStepKind.CLEAR_QUOTA:
+            b, a = ratios(move.context_key)
+            return [
+                PlanStep(
+                    kind=PlanStepKind.CLEAR_QUOTA,
+                    app=app,
+                    context_key=move.context_key,
+                    pool=move.pool,
+                    predicted_before=b,
+                    predicted_after=a,
+                    rationale="quota no longer earns its reservation",
+                )
+            ]
+        pool = self.snapshot.pool(move.pool)
+        owner = sorted({owner for owner, _ in pool.replicas})[0]
+        return [
+            PlanStep(
+                kind=PlanStepKind.RELEASE_REPLICA,
+                app=owner,
+                pool=move.pool,
+                server=pool.server,
+                rationale="pool serves no planned class",
+            )
+        ]
+
+
+def _tie_break(seed: int, move: _Move) -> str:
+    return hashlib.sha256(f"{seed}:{move.key()}".encode("utf-8")).hexdigest()
+
+
+def search_plan(
+    snapshot: ClusterSnapshot,
+    config: PlannerConfig | None = None,
+    obs: Observability | None = None,
+    summary: WorkloadSummary | None = None,
+) -> CapacityPlan:
+    """Greedy hill-climb from the snapshot's current arrangement.
+
+    Returns a :class:`CapacityPlan` whose content is a pure function of
+    ``snapshot`` and ``config.seed``.
+    """
+    config = config if config is not None else PlannerConfig()
+    obs = obs if obs is not None else NULL_OBS
+    with obs.tracer.span(
+        "planner.search", attrs={"seed": config.seed}
+    ) as span:
+        plan = _search(snapshot, config, summary)
+        span.set_attr("steps", len(plan.steps))
+        span.add_cost(len(plan.steps))
+    return plan
+
+
+def _search(
+    snapshot: ClusterSnapshot,
+    config: PlannerConfig,
+    summary: WorkloadSummary | None,
+) -> CapacityPlan:
+    if summary is None:
+        summary = WorkloadSummary.from_snapshot(
+            snapshot, k=config.summary_k, points=config.slice_points
+        )
+    planner = _Planner(snapshot, summary, config)
+    state = planner.initial_state()
+    score = planner.score(state)
+    score_before = score
+    assessment = planner.assess(state)
+    steps: list[PlanStep] = []
+    notes: list[str] = []
+    if summary.dropped:
+        notes.append(
+            f"summary dropped {len(summary.dropped)} low-pressure classes "
+            f"(coverage {summary.coverage:.0%})"
+        )
+    for _ in range(config.max_steps):
+        best: tuple[float, str, _Move, _State] | None = None
+        for move in planner.moves(state):
+            candidate = planner.apply_move(state, move)
+            try:
+                candidate_score = planner.score(candidate)
+            except (ValueError, KeyError):
+                continue  # over-reserved pool or other invalid arrangement
+            if candidate_score >= score - config.epsilon:
+                continue
+            rank = (candidate_score, _tie_break(config.seed, move))
+            if best is None or rank < (best[0], best[1]):
+                best = (candidate_score, rank[1], move, candidate)
+        if best is None:
+            break
+        score, _, move, state = best
+        after_assessment = planner.assess(state)
+        steps.extend(
+            planner.describe_move(move, assessment, after_assessment, state)
+        )
+        assessment = after_assessment
+    # Materialise placeholder pools as ADD_REPLICA steps, ahead of the
+    # migrations that target them.
+    add_steps = [
+        PlanStep(
+            kind=PlanStepKind.ADD_REPLICA,
+            app=split_new_pool_id(pool_id)[0],
+            pool=pool_id,
+            server=split_new_pool_id(pool_id)[1],
+            rationale="idle server absorbs migrated classes",
+        )
+        for pool_id in sorted(state.used_placeholders)
+    ]
+    release_steps = [
+        PlanStep(
+            kind=PlanStepKind.RELEASE_REPLICA,
+            app=step.app,
+            pool=step.pool,
+            server=step.server,
+            rationale=step.rationale,
+        )
+        for step in steps
+        if step.kind is PlanStepKind.RELEASE_REPLICA
+    ]
+    ordered = (
+        add_steps
+        + [s for s in steps if s.kind is not PlanStepKind.RELEASE_REPLICA]
+        + release_steps
+    )
+    outlooks = []
+    for key in sorted(summary.top):
+        prediction = assessment.prediction_of(key)
+        if prediction is None:
+            continue
+        outlooks.append(
+            ClassOutlook(
+                context_key=key,
+                pool=state.assignment[key],
+                memory_pages=prediction.memory_pages,
+                predicted_miss_ratio=prediction.predicted_miss_ratio,
+                acceptable_miss_ratio=prediction.acceptable_miss_ratio,
+            )
+        )
+    return CapacityPlan(
+        seed=config.seed,
+        interval_index=snapshot.interval_index,
+        score_before=score_before,
+        score_after=score,
+        steps=tuple(ordered),
+        outlooks=tuple(outlooks),
+        coverage=summary.coverage,
+        notes=tuple(notes),
+    )

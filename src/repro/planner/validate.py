@@ -1,0 +1,178 @@
+"""What-if validation: replay a capacity plan in a forked harness.
+
+The planner's predictions come from MRC slices; this module checks them
+against ground truth.  ``validate_plan`` builds a *fresh* harness from a
+deterministic factory (sim-clock, empty fault plan — the same scenario the
+snapshot was taken from, replayed from its planning point), applies the
+plan through ``ClusterController.apply_plan``, lets the pools warm up, and
+then measures each plan-touched class's real miss ratio from the engines'
+cumulative per-class counters over a measurement window.
+
+The simulated ratio counts *physical fetches* — demand misses plus pages
+brought in by read-ahead — over demand accesses.  Mattson curves model
+plain LRU with no prefetching, so a scan the engine satisfies through
+read-ahead still cost the storage reads the curve predicted; comparing
+against demand misses alone would flatter the prediction with work the
+prefetcher did.
+
+A class passes when ``|predicted - simulated| / max(simulated, floor)``
+is within the tolerance (25% by default, matching the acceptance bar).
+The floor keeps near-zero simulated ratios from exploding the relative
+error — at miss ratios under 2% the absolute error is what matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..obs import NULL_OBS, Observability
+from .plan import CapacityPlan, PlanStepKind
+
+__all__ = ["ClassCheck", "PlanValidation", "validate_plan"]
+
+ERROR_FLOOR = 0.02
+
+
+@dataclass(frozen=True)
+class ClassCheck:
+    """Predicted-vs-simulated verdict for one class."""
+
+    context_key: str
+    predicted_miss_ratio: float
+    simulated_miss_ratio: float
+    accesses: int
+    tolerance: float
+
+    @property
+    def relative_error(self) -> float:
+        gap = abs(self.predicted_miss_ratio - self.simulated_miss_ratio)
+        return gap / max(self.simulated_miss_ratio, ERROR_FLOOR)
+
+    @property
+    def ok(self) -> bool:
+        return self.accesses == 0 or self.relative_error <= self.tolerance
+
+
+@dataclass
+class PlanValidation:
+    """The validator's report for one plan replay."""
+
+    checks: list[ClassCheck] = field(default_factory=list)
+    warmup_intervals: int = 0
+    measure_intervals: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def max_relative_error(self) -> float:
+        measured = [c.relative_error for c in self.checks if c.accesses > 0]
+        return max(measured, default=0.0)
+
+    def render(self) -> str:
+        lines = [
+            f"plan validation: {len(self.checks)} classes, "
+            f"{self.warmup_intervals} warmup + "
+            f"{self.measure_intervals} measured intervals -> "
+            + ("OK" if self.ok else "MISMATCH"),
+        ]
+        for check in self.checks:
+            if check.accesses == 0:
+                verdict = "no traffic"
+            else:
+                verdict = (
+                    f"err {check.relative_error:.0%} "
+                    + ("ok" if check.ok else "EXCEEDS")
+                )
+            lines.append(
+                f"  {check.context_key}: predicted "
+                f"{check.predicted_miss_ratio:.3f}, simulated "
+                f"{check.simulated_miss_ratio:.3f} ({verdict})"
+            )
+        return "\n".join(lines)
+
+
+def _per_class_counters(controller) -> dict[str, tuple[int, int, int]]:
+    """(hits, misses, readaheads) per context key over every engine."""
+    totals: dict[str, tuple[int, int, int]] = {}
+    seen: set[str] = set()
+    for analyzer in controller.analyzers():
+        engine = analyzer.engine
+        if engine.name in seen:
+            continue
+        seen.add(engine.name)
+        for key, counters in engine.pool.stats.per_class.items():
+            hits, misses, readaheads = totals.get(key, (0, 0, 0))
+            totals[key] = (
+                hits + counters.get("hits", 0),
+                misses + counters.get("misses", 0),
+                readaheads + counters.get("readaheads", 0),
+            )
+    return totals
+
+
+def validate_plan(
+    plan: CapacityPlan,
+    harness_factory,
+    warmup_intervals: int = 2,
+    measure_intervals: int = 4,
+    tolerance: float = 0.25,
+    obs: Observability | None = None,
+) -> PlanValidation:
+    """Replay ``plan`` in a forked harness and compare miss ratios.
+
+    ``harness_factory()`` must rebuild the scenario deterministically up to
+    the planning point and return the harness — the fork is a rebuild, not
+    a deep copy, so the live cluster is never touched.  Checked classes are
+    the ones the plan directly tunes (quota'd or migrated); every class in
+    the plan's outlook table is reported.
+    """
+    if warmup_intervals < 0 or measure_intervals < 1:
+        raise ValueError("need non-negative warmup and >= 1 measured interval")
+    obs = obs if obs is not None else NULL_OBS
+    with obs.tracer.span(
+        "planner.validate", attrs={"steps": len(plan.steps)}
+    ) as span:
+        harness = harness_factory()
+        controller = harness.controller
+        controller.apply_plan(plan, harness.clock.now)
+        if warmup_intervals:
+            harness.run(warmup_intervals)
+        before = _per_class_counters(controller)
+        harness.run(measure_intervals)
+        after = _per_class_counters(controller)
+        span.add_cost(warmup_intervals + measure_intervals)
+
+        touched = {
+            step.context_key
+            for step in plan.steps
+            if step.kind
+            in (PlanStepKind.SET_QUOTA, PlanStepKind.MIGRATE_CLASS)
+            and step.context_key
+        }
+        validation = PlanValidation(
+            warmup_intervals=warmup_intervals,
+            measure_intervals=measure_intervals,
+        )
+        for outlook in plan.outlooks:
+            key = outlook.context_key
+            if key not in touched:
+                continue
+            hits_0, misses_0, ra_0 = before.get(key, (0, 0, 0))
+            hits_1, misses_1, ra_1 = after.get(key, (0, 0, 0))
+            accesses = (hits_1 - hits_0) + (misses_1 - misses_0)
+            fetched = (misses_1 - misses_0) + (ra_1 - ra_0)
+            simulated = fetched / accesses if accesses else 0.0
+            validation.checks.append(
+                ClassCheck(
+                    context_key=key,
+                    predicted_miss_ratio=outlook.predicted_miss_ratio,
+                    simulated_miss_ratio=simulated,
+                    accesses=accesses,
+                    tolerance=tolerance,
+                )
+            )
+        span.set_attr("checks", len(validation.checks))
+        span.set_attr("ok", int(validation.ok))
+    return validation

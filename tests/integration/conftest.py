@@ -18,6 +18,7 @@ from repro.experiments.memory_contention import (
     MemoryContentionConfig,
     run_memory_contention,
 )
+from repro.experiments.planner_sweep import PlannerSweepConfig, run_planner_sweep
 
 
 @pytest.fixture(scope="session")
@@ -43,3 +44,8 @@ def cpu_saturation_result():
 @pytest.fixture(scope="session")
 def buffer_partitioning_result():
     return run_buffer_partitioning(BufferPartitioningConfig())
+
+
+@pytest.fixture(scope="session")
+def planner_sweep_result():
+    return run_planner_sweep(PlannerSweepConfig())

@@ -51,15 +51,55 @@ def test_feasible_plans_cover_others_floor(data):
 @given(data=params_sets(), min_quota=st.integers(min_value=1, max_value=64))
 @settings(max_examples=120, deadline=None)
 def test_quotas_respect_floors(data, min_quota):
+    """No quota ever drops below its acceptable-memory floor.
+
+    This includes the shared-partition reclaim path: the single shared page
+    comes out of slack above the floors, never out of the floors themselves
+    (the search turns infeasible instead).
+    """
     problem, others, pool = data
     plan = find_quotas(problem, others, pool, min_quota=min_quota)
     if plan.feasible:
         for key, quota in plan.quotas.items():
             floor = max(problem[key].acceptable_memory, min_quota)
-            # The shared-partition reclaim can shave at most the deficit of
-            # a single page off the largest quota.
-            assert quota >= min(floor, quota)
+            assert quota >= floor
             assert quota <= max(problem[key].total_memory, floor)
+
+
+@given(data=params_sets())
+@settings(max_examples=120, deadline=None)
+def test_feasible_plans_partition_the_pool(data):
+    """Reserved quotas plus the shared partition exactly cover the pool."""
+    problem, others, pool = data
+    plan = find_quotas(problem, others, pool)
+    if plan.feasible:
+        assert plan.reserved_pages + plan.shared_pages == pool
+
+
+@given(data=params_sets())
+@settings(max_examples=120, deadline=None)
+def test_shrink_order_largest_excess_first(data):
+    """Classes are drained largest-slack-first.
+
+    Consequence: if class ``x`` was shrunk all the way to its floor while
+    class ``y`` kept slack, then at the moment ``x`` was drained it held the
+    largest slack — so ``x``'s initial slack bounds ``y``'s final slack.
+    """
+    problem, others, pool = data
+    plan = find_quotas(problem, others, pool)
+    if not plan.feasible:
+        return
+    floors = {key: max(p.acceptable_memory, 1) for key, p in problem.items()}
+    initial = {key: max(p.total_memory, floors[key]) for key, p in problem.items()}
+    drained = [
+        key
+        for key, quota in plan.quotas.items()
+        if quota == floors[key] and initial[key] > floors[key]
+    ]
+    for x in drained:
+        for y, quota in plan.quotas.items():
+            if quota > floors[y]:
+                assert initial[x] - floors[x] >= quota - floors[y]
 
 
 @given(data=params_sets())

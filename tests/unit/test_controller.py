@@ -260,3 +260,186 @@ class TestReporting:
             ControllerConfig(fallback_patience=0)
         with pytest.raises(ValueError):
             ControllerConfig(scale_down_cpu_threshold=1.5)
+
+
+class TestApplyPlan:
+    """Actuating hand-built capacity plans (the planner's output side)."""
+
+    def make_plan(self, *steps):
+        from repro.planner.plan import CapacityPlan
+
+        return CapacityPlan(
+            seed=0,
+            interval_index=0,
+            score_before=1.0,
+            score_after=0.0,
+            steps=tuple(steps),
+        )
+
+    def test_add_replica_then_migrate_resolves_placeholder(self):
+        from repro.planner.plan import PlanStep, PlanStepKind
+
+        manager, controller, scheduler = make_cluster(servers=3)
+        plan = self.make_plan(
+            PlanStep(
+                kind=PlanStepKind.ADD_REPLICA,
+                app="app",
+                pool="new:app:s1",
+                server="s1",
+            ),
+            PlanStep(
+                kind=PlanStepKind.MIGRATE_CLASS,
+                app="app",
+                context_key="app/q",
+                pool="new:app:s1",
+            ),
+        )
+        actions = controller.apply_plan(plan, timestamp=50.0)
+        assert [a.kind for a in actions] == [
+            ActionKind.PROVISION_REPLICA,
+            ActionKind.RESCHEDULE_CLASS,
+        ]
+        assert len(scheduler.replicas) == 2
+        new_replica = actions[0].replica
+        assert scheduler.placement_of("app/q") == [new_replica]
+        assert scheduler.replicas[new_replica].host.name == "s1"
+        assert manager.history[-1].action == "allocate"
+
+    def test_unavailable_server_skips_the_whole_branch(self):
+        from repro.planner.plan import PlanStep, PlanStepKind
+
+        _, controller, scheduler = make_cluster(servers=1)
+        # s0 already hosts the app: the ADD_REPLICA step cannot land, so
+        # the migration targeting its placeholder is skipped too.
+        plan = self.make_plan(
+            PlanStep(
+                kind=PlanStepKind.ADD_REPLICA,
+                app="app",
+                pool="new:app:s0",
+                server="s0",
+            ),
+            PlanStep(
+                kind=PlanStepKind.MIGRATE_CLASS,
+                app="app",
+                context_key="app/q",
+                pool="new:app:s0",
+            ),
+        )
+        assert controller.apply_plan(plan, timestamp=50.0) == []
+        assert len(scheduler.replicas) == 1
+        assert scheduler.placement_of("app/q") == scheduler.replica_names()
+
+    def test_set_quota_applies_with_thrash_guard(self):
+        from repro.planner.plan import PlanStep, PlanStepKind
+
+        _, controller, scheduler = make_cluster()
+        replica = next(iter(scheduler.replicas.values()))
+        engine = replica.engine
+
+        def quota_step(pages):
+            return PlanStep(
+                kind=PlanStepKind.SET_QUOTA,
+                app="app",
+                context_key="app/q",
+                pool=engine.name,
+                pages=pages,
+            )
+
+        actions = controller.apply_plan(
+            self.make_plan(quota_step(1000)), timestamp=10.0
+        )
+        assert [a.kind for a in actions] == [ActionKind.APPLY_QUOTAS]
+        assert actions[0].quotas == (("app/q", 1000),)
+        assert engine.quotas["app/q"] == 1000
+        # Within 15% of the standing quota: re-imposing it would only
+        # cold-restart the partition, so the step is a no-op.
+        assert controller.apply_plan(
+            self.make_plan(quota_step(1100)), timestamp=20.0
+        ) == []
+        assert engine.quotas["app/q"] == 1000
+        # A materially different quota goes through.
+        actions = controller.apply_plan(
+            self.make_plan(quota_step(2000)), timestamp=30.0
+        )
+        assert len(actions) == 1
+        assert engine.quotas["app/q"] == 2000
+
+    def test_clear_quota_only_when_present(self):
+        from repro.planner.plan import PlanStep, PlanStepKind
+
+        _, controller, scheduler = make_cluster()
+        replica = next(iter(scheduler.replicas.values()))
+        engine = replica.engine
+        step = PlanStep(
+            kind=PlanStepKind.CLEAR_QUOTA,
+            app="app",
+            context_key="app/q",
+            pool=engine.name,
+        )
+        assert controller.apply_plan(self.make_plan(step), 10.0) == []
+        engine.set_quota("app/q", 500)
+        actions = controller.apply_plan(self.make_plan(step), 20.0)
+        assert [a.kind for a in actions] == [ActionKind.APPLY_QUOTAS]
+        assert "app/q" not in engine.quotas
+
+    def test_release_emits_no_action_but_updates_history(self):
+        from repro.planner.plan import PlanStep, PlanStepKind
+
+        manager, controller, scheduler = make_cluster(servers=2)
+        second = manager.allocate_replica(scheduler, 5.0)
+        controller.track_replica(second)
+        step = PlanStep(
+            kind=PlanStepKind.RELEASE_REPLICA,
+            app="app",
+            pool=second.engine.name,
+        )
+        assert controller.apply_plan(self.make_plan(step), 50.0) == []
+        assert len(scheduler.replicas) == 1
+        assert manager.history[-1].action == "release"
+
+    def test_release_never_removes_the_last_replica(self):
+        from repro.planner.plan import PlanStep, PlanStepKind
+
+        manager, controller, scheduler = make_cluster()
+        (replica_name,) = scheduler.replica_names()
+        step = PlanStep(
+            kind=PlanStepKind.RELEASE_REPLICA,
+            app="app",
+            pool=scheduler.replicas[replica_name].engine.name,
+        )
+        assert controller.apply_plan(self.make_plan(step), 50.0) == []
+        assert scheduler.replica_names() == [replica_name]
+        assert all(event.action == "allocate" for event in manager.history)
+
+    def test_migrate_is_idempotent_once_placed(self):
+        from repro.planner.plan import PlanStep, PlanStepKind
+
+        manager, controller, scheduler = make_cluster(servers=2)
+        second = manager.allocate_replica(scheduler, 5.0)
+        controller.track_replica(second)
+        step = PlanStep(
+            kind=PlanStepKind.MIGRATE_CLASS,
+            app="app",
+            context_key="app/q",
+            pool=second.engine.name,
+        )
+        first = controller.apply_plan(self.make_plan(step), 10.0)
+        assert [a.kind for a in first] == [ActionKind.RESCHEDULE_CLASS]
+        assert scheduler.placement_of("app/q") == [second.name]
+        # Re-applying the same migration is a no-op, not a new action.
+        assert controller.apply_plan(self.make_plan(step), 20.0) == []
+
+    def test_single_replica_migration_is_already_placed(self):
+        from repro.planner.plan import PlanStep, PlanStepKind
+
+        # With one replica the default placement already equals the
+        # target, so the guard treats the migration as done.
+        _, controller, scheduler = make_cluster()
+        (replica_name,) = scheduler.replica_names()
+        step = PlanStep(
+            kind=PlanStepKind.MIGRATE_CLASS,
+            app="app",
+            context_key="app/q",
+            pool=scheduler.replicas[replica_name].engine.name,
+        )
+        assert controller.apply_plan(self.make_plan(step), 10.0) == []

@@ -4,6 +4,10 @@ import json
 
 import pytest
 
+from repro.analysis.export import allocation_records, export_allocation_history
+from repro.cluster.resource_manager import ResourceManager
+from repro.cluster.scheduler import Scheduler
+from repro.cluster.server import PhysicalServer
 from repro.obs import Observability, telemetry_lines, write_telemetry
 from repro.obs.report import TelemetrySummary, summarize_telemetry
 from repro.sim.clock import SimClock
@@ -125,3 +129,52 @@ class TestSummary:
         text = TelemetrySummary().render()
         assert "(no spans recorded)" in text
         assert "(no actions emitted)" in text
+
+
+def provisioned_manager() -> ResourceManager:
+    manager = ResourceManager()
+    for name in ("s0", "s1"):
+        manager.add_server(PhysicalServer(name))
+    scheduler = Scheduler("tpcw")
+    manager.allocate_replica(scheduler, 5.0)
+    second = manager.allocate_replica(scheduler, 35.0)
+    manager.release_replica(scheduler, second.name, 95.0)
+    return manager
+
+
+class TestAllocationHistory:
+    def test_records_mirror_the_history(self):
+        records = allocation_records(provisioned_manager())
+        assert [r["action"] for r in records] == [
+            "allocate", "allocate", "release",
+        ]
+        assert all(r["record"] == "allocation" for r in records)
+        assert records[0]["app"] == "tpcw"
+        assert records[0]["timestamp"] == 5.0
+        assert records[-1]["replica_count"] == 1
+
+    def test_export_writes_sorted_jsonl(self, tmp_path):
+        manager = provisioned_manager()
+        path = export_allocation_history(tmp_path / "alloc.jsonl", manager)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        for line, record in zip(lines, allocation_records(manager)):
+            assert line == json.dumps(record, sort_keys=True)
+
+    def test_summary_parses_and_renders_allocations(self):
+        lines = telemetry_lines(instrumented_run(), meta={"scenario": "u"})
+        lines += [
+            json.dumps(record, sort_keys=True)
+            for record in allocation_records(provisioned_manager())
+        ]
+        summary = TelemetrySummary.from_lines(lines)
+        assert len(summary.allocations) == 3
+        text = summary.render()
+        assert "Machine allocation timeline" in text
+        assert "tpcw" in text and "release" in text
+
+    def test_no_allocations_no_section(self):
+        # Fault-free telemetry carries no allocation records; the report
+        # must not grow a section (the goldens pin its exact output).
+        text = TelemetrySummary.from_observability(instrumented_run()).render()
+        assert "Machine allocation timeline" not in text

@@ -1,0 +1,87 @@
+"""Unit tests for the what-if validator's comparison math."""
+
+import pytest
+
+from repro.planner import ClassCheck, PlanValidation
+from repro.planner.validate import ERROR_FLOOR, validate_plan
+from repro.planner.plan import CapacityPlan
+
+
+def check(predicted, simulated, accesses=1000, tolerance=0.25):
+    return ClassCheck(
+        context_key="app/q",
+        predicted_miss_ratio=predicted,
+        simulated_miss_ratio=simulated,
+        accesses=accesses,
+        tolerance=tolerance,
+    )
+
+
+class TestClassCheck:
+    def test_relative_error_against_simulated(self):
+        c = check(predicted=0.25, simulated=0.20)
+        assert c.relative_error == pytest.approx(0.25)
+        assert c.ok
+
+    def test_error_beyond_tolerance_fails(self):
+        c = check(predicted=0.30, simulated=0.20)
+        assert c.relative_error == pytest.approx(0.5)
+        assert not c.ok
+
+    def test_floor_guards_near_zero_ratios(self):
+        # Simulated 0.1% vs predicted 1.5%: the naive relative error would
+        # be 14x; against the 2% floor it is 0.7 tolerances of absolute
+        # error — small miss ratios are judged on absolute terms.
+        c = check(predicted=0.015, simulated=0.001, tolerance=1.0)
+        assert c.relative_error == pytest.approx(
+            (0.015 - 0.001) / ERROR_FLOOR
+        )
+        assert c.ok
+
+    def test_no_traffic_always_passes(self):
+        c = check(predicted=1.0, simulated=0.0, accesses=0)
+        assert c.ok
+
+    def test_symmetry(self):
+        over = check(predicted=0.24, simulated=0.20)
+        under = check(predicted=0.16, simulated=0.20)
+        assert over.relative_error == pytest.approx(under.relative_error)
+
+
+class TestPlanValidation:
+    def test_ok_and_max_error_aggregate(self):
+        validation = PlanValidation(
+            checks=[
+                check(0.22, 0.20),
+                check(0.10, 0.10),
+                check(1.0, 0.0, accesses=0),
+            ]
+        )
+        assert validation.ok
+        assert validation.max_relative_error == pytest.approx(0.1)
+
+    def test_single_failure_flips_the_verdict(self):
+        validation = PlanValidation(checks=[check(0.20, 0.20), check(0.9, 0.2)])
+        assert not validation.ok
+        assert "MISMATCH" in validation.render()
+        assert "EXCEEDS" in validation.render()
+
+    def test_empty_validation_is_vacuously_ok(self):
+        validation = PlanValidation()
+        assert validation.ok
+        assert validation.max_relative_error == 0.0
+
+    def test_render_marks_idle_classes(self):
+        validation = PlanValidation(checks=[check(1.0, 0.0, accesses=0)])
+        assert "no traffic" in validation.render()
+
+
+class TestValidatePlanArguments:
+    def test_rejects_bad_windows(self):
+        plan = CapacityPlan(
+            seed=0, interval_index=0, score_before=0.0, score_after=0.0
+        )
+        with pytest.raises(ValueError):
+            validate_plan(plan, lambda: None, warmup_intervals=-1)
+        with pytest.raises(ValueError):
+            validate_plan(plan, lambda: None, measure_intervals=0)

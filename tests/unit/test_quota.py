@@ -29,6 +29,16 @@ class TestPlacementFitsTotals:
         contexts = {"a": params(100, 80), "b": params(201, 150)}
         assert not placement_fits_totals(contexts, pool_pages=300)
 
+    def test_strictly_less_than_is_the_contract(self):
+        # The planner's fit checks rely on the strict-< semantics: an MRC
+        # whose total-memory estimate was *capped* at the pool size reports
+        # exactly pool_pages, and such a class is starving, not fitting —
+        # one page below the pool is the largest demand that fits.
+        assert placement_fits_totals({"a": params(299, 200)}, pool_pages=300)
+        assert not placement_fits_totals({"a": params(300, 200)}, pool_pages=300)
+        two = {"a": params(150, 100), "b": params(150, 100)}
+        assert not placement_fits_totals(two, pool_pages=300)
+
     def test_empty_always_fits(self):
         assert placement_fits_totals({}, pool_pages=10)
 
@@ -93,6 +103,26 @@ class TestFindQuotas:
         assert plan.feasible
         assert plan.shared_pages >= 1
         assert plan.quotas["a"] < 100
+
+    def test_shared_page_never_reclaimed_below_floors(self):
+        # Floors exactly fill the pool: the shared partition's single page
+        # cannot be taken from any floor, so the plan must be infeasible —
+        # never silently one page below an acceptable-memory guarantee.
+        plan = find_quotas(
+            {"a": params(60, 60), "b": params(40, 40)}, {}, pool_pages=100
+        )
+        assert not plan.feasible
+        assert plan.shortfall == 1
+
+    def test_shared_page_reclaimed_from_slack_only(self):
+        # "a" sits above its floor; the shared page comes out of its slack.
+        plan = find_quotas(
+            {"a": params(60, 50), "b": params(40, 40)}, {}, pool_pages=100
+        )
+        assert plan.feasible
+        assert plan.shared_pages == 1
+        assert plan.quotas["a"] >= 50
+        assert plan.quotas["b"] == 40
 
     def test_rejects_empty_problem_set(self):
         with pytest.raises(ValueError):

@@ -78,6 +78,33 @@ class TestAllocation:
         with pytest.raises(RuntimeError):
             manager.allocate_replica(Scheduler("rubis"), 1.0, exclusive=True)
 
+    def test_pinned_server_is_honoured(self):
+        # The capacity planner names concrete servers in its ADD_REPLICA
+        # steps; the pin must override the idle-first preference.
+        manager = make_manager(3)
+        scheduler = Scheduler("app")
+        replica = manager.allocate_replica(scheduler, 0.0, server="s2")
+        assert replica.host.name == "s2"
+        assert "s2" not in manager.idle_servers()
+
+    def test_pinned_server_must_be_pooled(self):
+        manager = make_manager(1)
+        with pytest.raises(KeyError):
+            manager.allocate_replica(Scheduler("app"), 0.0, server="ghost")
+
+    def test_pinned_server_must_not_already_host_the_app(self):
+        manager = make_manager(2)
+        scheduler = Scheduler("app")
+        manager.allocate_replica(scheduler, 0.0, server="s0")
+        with pytest.raises(RuntimeError):
+            manager.allocate_replica(scheduler, 1.0, server="s0")
+
+    def test_pinned_server_may_co_host_other_apps(self):
+        manager = make_manager(2)
+        manager.allocate_replica(Scheduler("tpcw"), 0.0, server="s0")
+        replica = manager.allocate_replica(Scheduler("rubis"), 1.0, server="s0")
+        assert replica.host.name == "s0"
+
     def test_servers_hosting(self):
         manager = make_manager(2)
         scheduler = Scheduler("app")
