@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Zoo smoke: detection quality on the workload zoo keeps its floors.
+
+Runs the regression-critical zoo scenarios from the bench registry and
+asserts:
+
+1. **artefact unchanged** — each scenario's artefact matches its committed
+   ``BENCH_zoo_<name>.json`` in the registry's canonical comparison (drift
+   is a hard failure, exactly as in ``perf_smoke.py``);
+2. **detection-quality floors** — pinned precision/recall minima for the
+   two scenarios the paper's machinery must catch:
+
+   * ``flash_crowd``: the burst-skewed BestSeller is IQR-flagged every
+     violating interval (recall 1.0 at seed 7; the floor tolerates one
+     missed episode context at other tolerances);
+   * ``noisy_neighbour``: the antagonist's hog scan is named suspect and
+     rescheduled off the shared server.
+
+   The precision floors are deliberately low: they pin the detector's
+   *measured* false-positive behaviour (collateral outliers whose stable
+   miss counts are near zero), not an aspirational one.  Raising a floor
+   must come from a detector improvement, not from relabelling.
+3. **false-positive control** — ``diurnal`` (pure CPU saturation, no
+   guilty class) must stay at precision 1.0: any class-level detection
+   there is a regression in the memory-outlier path.
+
+Run from the repo root (CI runs it in the bench-baseline job)::
+
+    PYTHONPATH=src python benchmarks/zoo_smoke.py [--export report.jsonl]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.export import to_jsonable  # noqa: E402
+from repro.experiments.bench import (  # noqa: E402
+    BENCH_SCENARIOS,
+    BenchRun,
+    compare_with_baseline,
+    load_baseline,
+)
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+# scenario -> (precision floor, recall floor); measured at seed 7.
+QUALITY_FLOORS = {
+    "zoo_diurnal": (1.0, 1.0),
+    "zoo_flash_crowd": (0.45, 0.99),
+    "zoo_noisy_neighbour": (0.15, 0.99),
+}
+SCENARIOS = tuple(QUALITY_FLOORS)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--export",
+        type=str,
+        default=None,
+        help="write the scenarios' quality records as JSONL to this path",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    records: list[dict] = []
+    for name in SCENARIOS:
+        start = time.perf_counter()
+        artefact = to_jsonable(BENCH_SCENARIOS[name]())
+        seconds = time.perf_counter() - start
+
+        baseline = load_baseline(BASELINE_DIR, name)
+        if baseline is None:
+            failures.append(f"no committed baseline for {name}")
+        else:
+            run = BenchRun(name=name, artefact=artefact, seconds=seconds)
+            comparison = compare_with_baseline(run, baseline)
+            if not comparison.artefact_ok:
+                drift = "; ".join(comparison.drift[:5])
+                failures.append(f"{name}: artefact drift vs baseline: {drift}")
+
+        quality = artefact["quality"]
+        precision_floor, recall_floor = QUALITY_FLOORS[name]
+        if quality["precision"] < precision_floor:
+            failures.append(
+                f"{name}: precision {quality['precision']:.3f} below the "
+                f"pinned floor {precision_floor:.2f}"
+            )
+        if quality["recall"] < recall_floor:
+            failures.append(
+                f"{name}: recall {quality['recall']:.3f} below the pinned "
+                f"floor {recall_floor:.2f}"
+            )
+        records.append(
+            {
+                "record": "quality",
+                "scenario": artefact["scenario"],
+                "intervals": artefact["intervals"],
+                "tolerance": quality["tolerance"],
+                "true_positives": quality["true_positives"],
+                "false_positives": quality["false_positives"],
+                "false_negatives": quality["false_negatives"],
+                "precision": quality["precision"],
+                "recall": quality["recall"],
+                "f1": quality["f1"],
+            }
+        )
+        print(
+            f"zoo smoke: {name} in {seconds:.3f}s — "
+            f"p={quality['precision']:.3f} r={quality['recall']:.3f} "
+            f"f1={quality['f1']:.3f}"
+        )
+
+    if args.export:
+        import json
+
+        path = Path(args.export)
+        path.write_text(
+            "".join(
+                json.dumps(record, sort_keys=True) + "\n" for record in records
+            )
+        )
+        print(f"quality report written: {path}")
+
+    for failure in failures:
+        print(f"FAILURE: {failure}")
+    if not failures:
+        print("zoo smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

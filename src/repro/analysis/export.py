@@ -24,6 +24,7 @@ __all__ = [
     "export_telemetry",
     "allocation_records",
     "export_allocation_history",
+    "export_quality",
 ]
 
 
@@ -94,6 +95,29 @@ def export_allocation_history(path: str | Path, manager) -> Path:
         for record in allocation_records(manager)
     ]
     path.write_text("".join(line + "\n" for line in lines))
+    return path
+
+
+def export_quality(path: str | Path, reports, meta=None) -> Path:
+    """Write detection-quality reports as deterministic JSONL.
+
+    ``reports`` is an iterable of :class:`repro.analysis.quality.QualityReport`;
+    each becomes one ``{"record": "quality", ...}`` line (the shape
+    ``repro obs report`` renders).  An optional ``meta`` dict is written
+    first as a ``{"record": "meta", ...}`` line, mirroring telemetry
+    exports.
+    """
+    from .quality import quality_records
+
+    path = Path(path)
+    records: list[dict] = []
+    if meta is not None:
+        records.append({"record": "meta", **to_jsonable(meta)})
+    for report in reports:
+        records.extend(quality_records(report))
+    path.write_text(
+        "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+    )
     return path
 
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro table1 | table2 | table3
     python -m repro locks                # the future-work lock scenario
     python -m repro obs report           # telemetry summary of the quickstart
+    python -m repro zoo                  # anomaly zoo + detection quality
     python -m repro plan --validate      # capacity plan + what-if validation
     python -m repro bench --parallel 4   # benchmark scenarios, sharded
     python -m repro all                  # everything, in order
@@ -338,6 +339,59 @@ def _chaos(args) -> int:
     return 0
 
 
+def _zoo(args) -> int:
+    """``repro zoo`` — run workload-zoo scenarios, score detection quality."""
+    from .workloads.zoo import ZOO_SCENARIOS, zoo_scenario_names
+
+    if getattr(args, "list", False):
+        print("Workload-zoo scenarios:")
+        for name in zoo_scenario_names():
+            scenario = ZOO_SCENARIOS[name](7)
+            print(f"  {name:20s} {scenario.description}")
+        return 0
+
+    from .experiments.zoo import run_zoo
+
+    names = [args.scenario] if args.scenario else zoo_scenario_names()
+    unknown = sorted(set(names) - set(zoo_scenario_names()))
+    if unknown:
+        print(f"repro zoo: unknown scenario(s) {unknown}; "
+              f"known: {zoo_scenario_names()}", file=sys.stderr)
+        return 2
+    seed = args.seed if args.seed is not None else 7
+    table = Table(
+        title=f"workload zoo — detection quality (seed {seed})",
+        headers=["scenario", "precision", "recall", "F1", "tp", "fp", "fn",
+                 "actions"],
+    )
+    reports = []
+    for name in names:
+        result = run_zoo(name, seed=seed)
+        quality = result.quality
+        reports.append(quality)
+        table.add_row(
+            name,
+            f"{quality.precision:.3f}",
+            f"{quality.recall:.3f}",
+            f"{quality.f1:.3f}",
+            str(quality.true_positives),
+            str(quality.false_positives),
+            str(quality.false_negatives),
+            str(len(result.actions)),
+        )
+    print(table.render())
+    if getattr(args, "export", None):
+        from .analysis.export import export_quality
+
+        path = export_quality(
+            args.export,
+            reports,
+            meta={"scenario": "zoo", "seed": seed, "runs": names},
+        )
+        print(f"\nquality report written: {path}")
+    return 0
+
+
 def _bench(args) -> int:
     """``repro bench`` — run the benchmark scenario registry.
 
@@ -379,6 +433,7 @@ _COMMANDS = {
     "chaos": (_chaos, "fault-injection storm: failover, quarantine, recovery"),
     "plan": (_plan, "capacity planner: print/validate/apply a cluster plan"),
     "obs": (_obs, "telemetry: span timings, recomputations, actions"),
+    "zoo": (_zoo, "workload zoo: anomaly scenarios, detection quality"),
     "bench": (_bench, "benchmark scenarios: run, time, check baselines"),
     "all": (_all, "run every artefact in order"),
 }
@@ -421,6 +476,19 @@ def build_parser() -> argparse.ArgumentParser:
 
             bench = subparsers.add_parser(name, help=help_text)
             add_bench_arguments(bench)
+            continue
+        if name == "zoo":
+            zoo = subparsers.add_parser(name, help=help_text)
+            zoo.add_argument("--list", action="store_true",
+                             help="list the zoo scenarios and exit")
+            zoo.add_argument("--scenario", type=str, default=None,
+                             help="run one scenario (default: all)")
+            zoo.add_argument("--seed", type=int, default=None,
+                             help="scenario seed (default: 7, the baseline "
+                                  "seed)")
+            zoo.add_argument("--export", type=str, default=None,
+                             help="also write the quality report as JSONL "
+                                  "to this path")
             continue
         if name == "plan":
             plan = subparsers.add_parser(name, help=help_text)

@@ -1,6 +1,6 @@
 """Benchmark scenario registry and baseline harness.
 
-Fourteen named scenarios — mirroring the ``benchmarks/`` pytest suite —
+Twenty named scenarios — mirroring the ``benchmarks/`` pytest suite —
 each a module-level zero-argument function returning the scenario's
 **artefact metrics** as plain JSON types: the deterministic numbers the
 corresponding benchmark asserts on (latencies, quotas, feasibility flags),
@@ -265,6 +265,36 @@ def bench_planner_sweep() -> dict:
     return to_jsonable(run_planner_sweep())
 
 
+def _bench_zoo(name: str) -> dict:
+    from .zoo import run_zoo, zoo_artefact
+
+    return zoo_artefact(run_zoo(name))
+
+
+def bench_zoo_diurnal() -> dict:
+    return _bench_zoo("diurnal")
+
+
+def bench_zoo_flash_crowd() -> dict:
+    return _bench_zoo("flash_crowd")
+
+
+def bench_zoo_working_set_drift() -> dict:
+    return _bench_zoo("working_set_drift")
+
+
+def bench_zoo_olap_storm() -> dict:
+    return _bench_zoo("olap_storm")
+
+
+def bench_zoo_write_burst() -> dict:
+    return _bench_zoo("write_burst")
+
+
+def bench_zoo_noisy_neighbour() -> dict:
+    return _bench_zoo("noisy_neighbour")
+
+
 BENCH_SCENARIOS = {
     "fig3_cpu_saturation": bench_fig3_cpu_saturation,
     "fig4_index_drop": bench_fig4_index_drop,
@@ -280,6 +310,12 @@ BENCH_SCENARIOS = {
     "ablation_sampled_mrc": bench_ablation_sampled_mrc,
     "chaos_failover": bench_chaos_failover,
     "planner_sweep": bench_planner_sweep,
+    "zoo_diurnal": bench_zoo_diurnal,
+    "zoo_flash_crowd": bench_zoo_flash_crowd,
+    "zoo_working_set_drift": bench_zoo_working_set_drift,
+    "zoo_olap_storm": bench_zoo_olap_storm,
+    "zoo_write_burst": bench_zoo_write_burst,
+    "zoo_noisy_neighbour": bench_zoo_noisy_neighbour,
 }
 
 PYTEST_BENCH_ALIASES = {

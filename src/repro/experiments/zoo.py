@@ -1,0 +1,179 @@
+"""Run a workload-zoo scenario and score detection quality.
+
+The zoo scenario (:mod:`repro.workloads.zoo`) describes *what happens*; this
+runner wires it into a :class:`~repro.experiments.runner.ClusterHarness`,
+advances it interval by interval, and captures what the controller's
+diagnoses *named* — outlier contexts, suspects, action targets — as
+:class:`~repro.analysis.quality.DetectionEvent` records.  The run's quality
+report (precision/recall/F1 vs the scenario's ground-truth labels) is the
+regression-tracked artefact: every scenario is registered in the bench
+registry as ``zoo_<name>`` with a committed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.quality import DetectionEvent, QualityReport, score_detections
+from ..cluster.server import ServerSpec
+from ..core.controller import ControllerConfig
+from ..obs import Observability
+from ..workloads.zoo import ZooScenario, build_zoo_scenario
+from .index_drop import CPU_SCALE, EXPERIMENT_COST_MODEL, scale_cpu_costs
+from .runner import ClusterHarness
+
+__all__ = ["ZooRunResult", "run_zoo", "zoo_artefact"]
+
+
+@dataclass
+class ZooRunResult:
+    """Everything one zoo run produced."""
+
+    scenario: ZooScenario
+    quality: QualityReport
+    events: list[DetectionEvent] = field(default_factory=list)
+    # (interval, action kind value, context key or "") for non-trivial actions.
+    actions: list[tuple[int, str, str]] = field(default_factory=list)
+    latency_series: dict[str, list[float]] = field(default_factory=dict)
+    sla_series: dict[str, list[bool]] = field(default_factory=dict)
+
+    def violations(self, app: str) -> int:
+        return sum(1 for met in self.sla_series.get(app, []) if not met)
+
+
+def _build_harness(
+    scenario: ZooScenario, obs: Observability | None
+) -> ClusterHarness:
+    config = ControllerConfig(fallback_patience=scenario.fallback_patience)
+    spec = ServerSpec(cores=scenario.cores)
+    if scenario.shared_engine:
+        return ClusterHarness.shared_engine(
+            scenario.workloads,
+            spare_servers=scenario.servers,
+            pool_pages=scenario.pool_pages,
+            clients=dict(scenario.clients),
+            sla_latency=scenario.sla_latency,
+            config=config,
+            cost_model=EXPERIMENT_COST_MODEL,
+            server_spec=spec,
+            obs=obs,
+        )
+    (workload,) = scenario.workloads
+    return ClusterHarness.single_app(
+        workload,
+        servers=scenario.servers,
+        clients=scenario.clients[workload.app],
+        pool_pages=scenario.pool_pages,
+        sla_latency=scenario.sla_latency,
+        server_spec=spec,
+        config=config,
+        cost_model=EXPERIMENT_COST_MODEL,
+        obs=obs,
+    )
+
+
+def _diagnosis_events(interval: int, diagnosis) -> list[DetectionEvent]:
+    """Every context one diagnosis named, deduplicated, stable order."""
+    named: dict[str, str] = {}
+    for report in diagnosis.outlier_reports.values():
+        for context in report.memory_outlier_contexts():
+            named.setdefault(context, "outlier")
+    for contexts in diagnosis.suspects.values():
+        for context in contexts:
+            named.setdefault(context, "suspect")
+    for action in diagnosis.actions:
+        if action.context_key:
+            named.setdefault(action.context_key, "action")
+        for context, _ in action.quotas:
+            named.setdefault(context, "action")
+    return [
+        DetectionEvent(interval=interval, context=context, source=source)
+        for context, source in sorted(named.items())
+    ]
+
+
+def run_zoo(
+    scenario: ZooScenario | str,
+    seed: int = 7,
+    obs: Observability | None = None,
+    tolerance: int = 2,
+) -> ZooRunResult:
+    """Run one zoo scenario end to end and score its detections."""
+    if isinstance(scenario, str):
+        scenario = build_zoo_scenario(scenario, seed=seed)
+    for workload in scenario.workloads:
+        scale_cpu_costs(workload, CPU_SCALE)
+    harness = _build_harness(scenario, obs)
+    for index, hook in scenario.hooks:
+        harness.at_interval(index, hook)
+
+    events: list[DetectionEvent] = []
+    actions: list[tuple[int, str, str]] = []
+    latency: dict[str, list[float]] = {w.app: [] for w in scenario.workloads}
+    sla: dict[str, list[bool]] = {w.app: [] for w in scenario.workloads}
+    controller = harness.controller
+    for interval in range(scenario.intervals):
+        seen = len(controller.diagnoses)
+        step = harness.run(intervals=1)
+        for diagnosis in controller.diagnoses[seen:]:
+            events.extend(_diagnosis_events(interval, diagnosis))
+            for action in diagnosis.actions:
+                if action.kind.value == "no_action":
+                    continue
+                actions.append(
+                    (interval, action.kind.value, action.context_key or "")
+                )
+        for workload in scenario.workloads:
+            report = step.final_report(workload.app)
+            latency[workload.app].append(report.mean_latency)
+            sla[workload.app].append(report.sla_met)
+
+    quality = score_detections(
+        scenario.name, events, scenario.labels, tolerance=tolerance
+    )
+    return ZooRunResult(
+        scenario=scenario,
+        quality=quality,
+        events=events,
+        actions=actions,
+        latency_series=latency,
+        sla_series=sla,
+    )
+
+
+def zoo_artefact(result: ZooRunResult) -> dict:
+    """The bench-registry artefact of one zoo run (JSON-able, deterministic)."""
+    scenario = result.scenario
+    quality = result.quality
+    return {
+        "scenario": scenario.name,
+        "seed": scenario.seed,
+        "intervals": scenario.intervals,
+        "params": {
+            key: round(float(value), 6)
+            for key, value in sorted(scenario.params.items())
+        },
+        "labels": scenario.labels.to_jsonable(),
+        "quality": {
+            "precision": round(quality.precision, 6),
+            "recall": round(quality.recall, 6),
+            "f1": round(quality.f1, 6),
+            "true_positives": quality.true_positives,
+            "false_positives": quality.false_positives,
+            "false_negatives": quality.false_negatives,
+            "tolerance": quality.tolerance,
+        },
+        "events": quality.events,
+        "actions": [
+            {"interval": interval, "kind": kind, "context": context}
+            for interval, kind, context in result.actions
+        ],
+        "violations": {
+            app: result.violations(app) for app in sorted(result.sla_series)
+        },
+        "final_latency": {
+            app: round(series[-1], 6)
+            for app, series in sorted(result.latency_series.items())
+            if series
+        },
+    }

@@ -48,6 +48,7 @@ class TelemetrySummary:
     spans: list[dict] = field(default_factory=list)
     metrics: list[dict] = field(default_factory=list)
     allocations: list[dict] = field(default_factory=list)
+    quality: list[dict] = field(default_factory=list)
 
     @classmethod
     def from_lines(cls, lines: Iterable[str]) -> "TelemetrySummary":
@@ -66,6 +67,8 @@ class TelemetrySummary:
                 summary.metrics.append(record)
             elif kind == "allocation":
                 summary.allocations.append(record)
+            elif kind == "quality":
+                summary.quality.append(record)
             else:
                 raise ValueError(f"unknown telemetry record type: {kind!r}")
         return summary
@@ -138,7 +141,7 @@ class TelemetrySummary:
     def render(self) -> str:
         sections = [self._render_meta(), self._render_stages(),
                     self._render_mrc(), self._render_actions(),
-                    self._render_allocations()]
+                    self._render_allocations(), self._render_quality()]
         return "\n\n".join(section for section in sections if section)
 
     def _render_meta(self) -> str:
@@ -222,6 +225,29 @@ class TelemetrySummary:
                 event.get("server", "?"),
                 event.get("replica", "?"),
                 event.get("replica_count", "?"),
+            )
+        return table.render()
+
+
+    def _render_quality(self) -> str:
+        # Only rendered when quality records are present (zoo exports);
+        # telemetry goldens without them stay byte-identical.
+        if not self.quality:
+            return ""
+        table = Table(
+            title="Detection quality vs injected ground truth",
+            headers=["scenario", "precision", "recall", "F1", "tp", "fp",
+                     "fn"],
+        )
+        for record in self.quality:
+            table.add_row(
+                record.get("scenario", "?"),
+                f"{record.get('precision', 0.0):.3f}",
+                f"{record.get('recall', 0.0):.3f}",
+                f"{record.get('f1', 0.0):.3f}",
+                str(record.get("true_positives", "?")),
+                str(record.get("false_positives", "?")),
+                str(record.get("false_negatives", "?")),
             )
         return table.render()
 

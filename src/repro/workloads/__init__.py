@@ -2,9 +2,19 @@
 
 from .base import MixEntry, Workload
 from .clients import ClientSession, ClosedLoopDriver
-from .load import ConstantLoad, LoadFunction, SineLoad, StepLoad
+from .load import BurstLoad, ConstantLoad, LoadFunction, SineLoad, StepLoad
 from .rubis import RUBIS_APP, RUBIS_MIXES, SEARCH_ITEMS_BY_REGION, build_rubis
 from .sessions import MarkovSessionModel, session_model_from_mix
+from .zoo import (
+    GroundTruthLabel,
+    LabelStream,
+    ZOO_ENVELOPES,
+    ZOO_SCENARIOS,
+    ZooScenario,
+    build_antagonist,
+    build_zoo_scenario,
+    zoo_scenario_names,
+)
 from .tpcw import (
     BEST_SELLER,
     NEW_PRODUCTS,
@@ -17,9 +27,12 @@ from .tpcw import (
 
 __all__ = [
     "BEST_SELLER",
+    "BurstLoad",
     "ClientSession",
     "ClosedLoopDriver",
     "ConstantLoad",
+    "GroundTruthLabel",
+    "LabelStream",
     "LoadFunction",
     "MarkovSessionModel",
     "MixEntry",
@@ -33,8 +46,14 @@ __all__ = [
     "TPCW_APP",
     "TPCW_MIXES",
     "Workload",
+    "ZOO_ENVELOPES",
+    "ZOO_SCENARIOS",
+    "ZooScenario",
+    "build_antagonist",
     "build_rubis",
     "build_tpcw",
+    "build_zoo_scenario",
     "inject_unqualified_admin_update",
     "session_model_from_mix",
+    "zoo_scenario_names",
 ]

@@ -87,6 +87,51 @@ class Workload:
         entries = [entry.query_class for entry in self.mix]
         return stream.choice(entries, weights=self.weights())
 
+    def normalized_weights(self) -> dict[str, float]:
+        """Per-class mix frequencies normalised to sum to 1.0."""
+        total = sum(entry.weight for entry in self.mix)
+        if total <= 0:
+            raise ValueError(f"workload {self.app!r} has no positive mix weight")
+        return {
+            entry.query_class.name: entry.weight / total for entry in self.mix
+        }
+
+    def add_class(self, query_class: QueryClass, weight: float) -> None:
+        """Register a new class into the live mix.
+
+        The zoo's OLAP scan storm uses this to co-locate a reporting class
+        with an OLTP mix mid-run; the registry gains the class so metric
+        windows and diagnosis see it as *new*.
+        """
+        if weight < 0:
+            raise ValueError(
+                f"mix weight of {query_class.name!r} must be non-negative: "
+                f"{weight}"
+            )
+        self._registry.register(query_class)
+        self.mix.append(MixEntry(query_class=query_class, weight=weight))
+
+    def scale_weights(self, multipliers: dict[str, float]) -> None:
+        """Scale selected classes' mix weights in place (zoo bursts).
+
+        Classes absent from ``multipliers`` keep their weight.  Raises on
+        unknown names so a typo cannot silently leave the mix untouched.
+        """
+        known = {entry.query_class.name for entry in self.mix}
+        missing = set(multipliers) - known
+        if missing:
+            raise KeyError(
+                f"workload {self.app!r} has no classes {sorted(missing)}"
+            )
+        self.mix = [
+            MixEntry(
+                query_class=entry.query_class,
+                weight=entry.weight
+                * multipliers.get(entry.query_class.name, 1.0),
+            )
+            for entry in self.mix
+        ]
+
     def without_class(self, name: str) -> "Workload":
         """A copy of this workload with one class removed from the mix.
 

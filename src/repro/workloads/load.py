@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from ..sim.rng import RandomStream
 
-__all__ = ["LoadFunction", "ConstantLoad", "StepLoad", "SineLoad"]
+__all__ = ["LoadFunction", "ConstantLoad", "StepLoad", "SineLoad", "BurstLoad"]
 
 
 class LoadFunction:
@@ -58,6 +58,37 @@ class StepLoad(LoadFunction):
             else:
                 break
         return current
+
+
+@dataclass(frozen=True)
+class BurstLoad(LoadFunction):
+    """A baseline population with one multiplicative burst window.
+
+    Models a flash crowd: ``base`` clients everywhere except during
+    ``[start, start + duration)``, where the population jumps to
+    ``round(base * multiplier)``.  The step up and down is instantaneous,
+    matching the zoo's interval-aligned ground-truth labels.
+    """
+
+    base: int
+    start: float
+    duration: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"base client count must be non-negative: {self.base}")
+        if self.duration <= 0:
+            raise ValueError(f"burst duration must be positive: {self.duration}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"burst multiplier must be >= 1: {self.multiplier}"
+            )
+
+    def clients_at(self, timestamp: float) -> int:
+        if self.start <= timestamp < self.start + self.duration:
+            return int(round(self.base * self.multiplier))
+        return self.base
 
 
 class SineLoad(LoadFunction):

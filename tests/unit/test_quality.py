@@ -1,0 +1,131 @@
+"""Unit tests for the detection-quality scorer (precision/recall/F1)."""
+
+import pytest
+
+from repro.analysis.quality import (
+    DetectionEvent,
+    quality_records,
+    score_detections,
+)
+from repro.workloads.zoo import GroundTruthLabel, LabelStream
+
+
+def stream(intervals=10, episodes=None):
+    if episodes is None:
+        episodes = [
+            GroundTruthLabel(0, 4, "stable"),
+            GroundTruthLabel(4, 8, "anomaly", ("app/guilty",)),
+            GroundTruthLabel(8, 10, "stable"),
+        ]
+    return LabelStream(intervals, episodes)
+
+
+class TestScoreDetections:
+    def test_perfect_detection(self):
+        events = [DetectionEvent(5, "app/guilty", "suspect")]
+        report = score_detections("s", events, stream(), tolerance=0)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+        assert report.true_positives == 1
+        assert report.false_positives == 0
+        assert report.false_negatives == 0
+
+    def test_no_events_is_full_precision_zero_recall(self):
+        report = score_detections("s", [], stream(), tolerance=0)
+        assert report.precision == 1.0
+        assert report.recall == 0.0
+        assert report.f1 == pytest.approx(0.0)
+        assert report.false_negatives == 1
+
+    def test_no_truth_is_full_recall(self):
+        labels = stream(episodes=[GroundTruthLabel(0, 10, "stable")])
+        events = [DetectionEvent(3, "app/innocent")]
+        report = score_detections("s", events, labels, tolerance=0)
+        assert report.recall == 1.0
+        assert report.precision == 0.0
+        assert report.false_positives == 1
+
+    def test_wrong_context_is_a_false_positive(self):
+        events = [DetectionEvent(5, "app/innocent")]
+        report = score_detections("s", events, stream(), tolerance=0)
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+
+    def test_recall_needs_the_specific_context(self):
+        # Regression: an episode naming two guilty contexts is only fully
+        # recalled when *each* context is detected; one detected context
+        # must not mark the other's pair covered.
+        episodes = [
+            GroundTruthLabel(0, 4, "stable"),
+            GroundTruthLabel(4, 8, "anomaly", ("app/first", "app/second")),
+            GroundTruthLabel(8, 10, "stable"),
+        ]
+        events = [DetectionEvent(5, "app/first")]
+        report = score_detections(
+            "s", events, stream(episodes=episodes), tolerance=0
+        )
+        assert report.true_positives == 1
+        assert report.false_negatives == 1
+        assert report.recall == pytest.approx(0.5)
+
+    def test_tolerance_absorbs_grace_lag(self):
+        # Detected two intervals after the episode ended: inside tolerance.
+        events = [DetectionEvent(9, "app/guilty")]
+        strict = score_detections("s", events, stream(), tolerance=0)
+        relaxed = score_detections("s", events, stream(), tolerance=2)
+        assert strict.true_positives == 0
+        assert relaxed.true_positives == 1
+        assert relaxed.recall == 1.0
+
+    def test_duplicate_events_collapse(self):
+        events = [
+            DetectionEvent(5, "app/guilty", "outlier"),
+            DetectionEvent(5, "app/guilty", "suspect"),
+            DetectionEvent(6, "app/guilty", "action"),
+        ]
+        report = score_detections("s", events, stream(), tolerance=0)
+        assert report.true_positives == 2  # (5, guilty) deduplicated
+        assert report.false_positives == 0
+
+    def test_empty_context_episode_is_a_false_positive_control(self):
+        # diurnal-style: anomalous episode with no guilty contexts demands
+        # nothing for recall and makes every detection a false positive.
+        episodes = [
+            GroundTruthLabel(0, 5, "cpu_saturation"),
+            GroundTruthLabel(5, 10, "stable"),
+        ]
+        labels = stream(episodes=episodes)
+        clean = score_detections("s", [], labels, tolerance=0)
+        assert clean.precision == 1.0 and clean.recall == 1.0
+        noisy = score_detections(
+            "s", [DetectionEvent(2, "app/any")], labels, tolerance=0
+        )
+        assert noisy.precision == 0.0
+        assert noisy.recall == 1.0
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            score_detections("s", [], stream(), tolerance=-1)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            DetectionEvent(-1, "app/x")
+        with pytest.raises(ValueError):
+            DetectionEvent(0, "")
+
+
+class TestQualityRecords:
+    def test_single_summary_record(self):
+        report = score_detections(
+            "flash", [DetectionEvent(5, "app/guilty")], stream(), tolerance=1
+        )
+        (record,) = quality_records(report)
+        assert record["record"] == "quality"
+        assert record["scenario"] == "flash"
+        assert record["precision"] == 1.0
+        assert record["recall"] == 1.0
+        assert record["tolerance"] == 1
+        assert record["true_positives"] == 1

@@ -77,3 +77,90 @@ class TestRubisMixes:
     def test_all_mix_names_documented(self):
         assert set(RUBIS_MIXES) == {"bidding", "browsing"}
         assert set(TPCW_MIXES) == {"shopping", "browsing", "ordering"}
+
+
+class TestMixNormalization:
+    """Explicit pins on normalised weights and the zoo's mix mutators."""
+
+    # The TPC-W shopping mix, normalised — the exact per-class frequencies
+    # every closed-loop driver samples from.
+    SHOPPING_WEIGHTS = {
+        "home": 0.16,
+        "search_title": 0.11,
+        "search_subject": 0.07,
+        "search_author": 0.06,
+        "product_detail": 0.18,
+        "order_inquiry": 0.05,
+        "order_display": 0.06,
+        "best_seller": 0.05,
+        "new_products": 0.06,
+        "shopping_cart": 0.08,
+        "customer_registration": 0.04,
+        "buy_request": 0.04,
+        "buy_confirm": 0.03,
+        "admin_update": 0.01,
+    }
+
+    def test_shopping_mix_normalized_weights_pinned(self):
+        weights = build_tpcw().normalized_weights()
+        assert set(weights) == set(self.SHOPPING_WEIGHTS)
+        for name, expected in self.SHOPPING_WEIGHTS.items():
+            assert weights[name] == pytest.approx(expected), name
+
+    def test_normalized_weights_sum_to_one(self):
+        for build, mixes in ((build_tpcw, TPCW_MIXES), (build_rubis, RUBIS_MIXES)):
+            for mix in mixes:
+                weights = build(mix=mix).normalized_weights()
+                assert sum(weights.values()) == pytest.approx(1.0)
+                assert all(w >= 0 for w in weights.values())
+
+    def test_scale_weights_renormalizes_proportionally(self):
+        workload = build_tpcw()
+        workload.scale_weights({"best_seller": 8.0})
+        weights = workload.normalized_weights()
+        # 0.05 * 8 / (1 - 0.05 + 0.40)
+        assert weights["best_seller"] == pytest.approx(0.40 / 1.35)
+        # untouched classes keep their relative proportions
+        assert weights["home"] == pytest.approx(0.16 / 1.35)
+
+    def test_scale_weights_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            build_tpcw().scale_weights({"nonexistent": 2.0})
+
+    def test_zoo_mutation_leaves_fresh_builds_untouched(self):
+        # The zoo mutates workload mixes in place mid-run; a fresh build
+        # must never observe those mutations.
+        mutated = build_tpcw()
+        mutated.scale_weights({"best_seller": 8.0})
+        fresh = build_tpcw()
+        for name, expected in self.SHOPPING_WEIGHTS.items():
+            assert fresh.normalized_weights()[name] == pytest.approx(
+                expected
+            ), name
+
+    def test_add_class_joins_mix_and_registry(self):
+        workload = build_tpcw()
+        base = workload.class_named("best_seller")
+        import dataclasses
+
+        new_class = dataclasses.replace(
+            base,
+            name="olap_report",
+            query_id=90,
+            template="select sum(ol_qty) from order_line group by ol_i_id",
+        )
+        workload.add_class(new_class, weight=0.10)
+        assert workload.class_named("olap_report") is new_class
+        assert workload.normalized_weights()["olap_report"] == pytest.approx(
+            0.10 / 1.10
+        )
+
+    def test_default_think_time_pinned(self):
+        # Closed-loop drivers default to a 1-second mean think time; the
+        # zoo's latency plateaus (and the pinned SLA levels) assume it.
+        import inspect
+
+        from repro.workloads.clients import ClosedLoopDriver
+
+        signature = inspect.signature(ClosedLoopDriver.__init__)
+        assert signature.parameters["think_time_mean"].default == 1.0
