@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Control-plane smoke: crash recovery keeps its exactly-once contract.
+
+Runs the ``chaos_control_plane`` scenario (checkpoint corruption followed
+by a controller crash in the middle of an SLA violation, watchdog
+restart, journal replay, reconcile, and a fenced stale-epoch action) and
+asserts:
+
+1. **artefact unchanged** — the scenario's artefact matches the committed
+   ``BENCH_chaos_control_plane.json`` in the registry's canonical
+   comparison (drift is a hard failure, exactly as in ``chaos_smoke.py``);
+2. **recovery invariants** — the properties the recovery subsystem exists
+   to provide hold regardless of what the baseline says:
+
+   * the controller crashed and was restarted (by the watchdog, not a
+     cold start), restoring from a digest-valid checkpoint past the
+     corrupted one,
+   * zero duplicate applied actions and zero open intents after replay
+     plus reconcile,
+   * the stale pre-crash action was fenced and left the engine quota
+     untouched,
+   * the SLA recovers within two intervals of the restart close.
+
+The full action journal is written as JSONL (``--journal PATH``) so CI
+can upload it as an artifact for post-mortem inspection.
+
+Run from the repo root (CI runs it in the bench-baseline job)::
+
+    PYTHONPATH=src python benchmarks/controlplane_smoke.py \
+        --journal controlplane-journal.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.export import to_jsonable  # noqa: E402
+from repro.experiments.bench import (  # noqa: E402
+    BenchRun,
+    compare_with_baseline,
+    control_chaos_artefact,
+    load_baseline,
+)
+from repro.experiments.control_chaos import (  # noqa: E402
+    ControlChaosConfig,
+    run_control_chaos,
+)
+
+SCENARIO = "chaos_control_plane"
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+MAX_SLA_RECOVERY_INTERVALS = 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        help="write the action journal as JSONL to this path",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    result = run_control_chaos(ControlChaosConfig())
+    seconds = time.perf_counter() - start
+    artefact = to_jsonable(control_chaos_artefact(result))
+    supervisor = result.supervisor
+
+    if args.journal is not None:
+        args.journal.write_text(supervisor.journal.to_jsonl())
+
+    failures: list[str] = []
+
+    baseline = load_baseline(BASELINE_DIR, SCENARIO)
+    if baseline is None:
+        failures.append(f"no committed baseline for {SCENARIO}")
+    else:
+        run = BenchRun(name=SCENARIO, artefact=artefact, seconds=seconds)
+        comparison = compare_with_baseline(run, baseline)
+        if not comparison.artefact_ok:
+            drift = "; ".join(comparison.drift[:5])
+            failures.append(f"artefact drift vs baseline: {drift}")
+
+    if supervisor.crashes < 1 or supervisor.restarts < 1:
+        failures.append(
+            "the storm no longer crashes and restarts the controller: "
+            f"crashes={supervisor.crashes} restarts={supervisor.restarts}"
+        )
+    if artefact["cold_start"]:
+        failures.append(
+            "restart cold-started instead of restoring a checkpoint"
+        )
+    if artefact["corrupt_skipped"] < 1:
+        failures.append(
+            "the corrupted checkpoint was not exercised — restore never "
+            "had to fall back past it"
+        )
+    duplicates = supervisor.journal.duplicate_applied()
+    if duplicates:
+        failures.append(
+            f"{len(duplicates)} action(s) applied more than once: "
+            f"{duplicates[:3]}"
+        )
+    open_intents = supervisor.journal.open_intents()
+    if open_intents:
+        failures.append(
+            f"{len(open_intents)} intent(s) left open after reconcile"
+        )
+    if not artefact["stale_attempt_fenced"]:
+        failures.append("the stale pre-crash action was not fenced")
+    if result.quota_after_stale_attempt != result.quota_pages:
+        failures.append(
+            "the fenced action leaked into the engine quota: "
+            f"{result.quota_after_stale_attempt} != {result.quota_pages}"
+        )
+    recovery = artefact["sla_recovery_intervals_after_restart"]
+    if recovery is None or not 0 <= recovery <= MAX_SLA_RECOVERY_INTERVALS:
+        failures.append(
+            f"SLA not recovered within {MAX_SLA_RECOVERY_INTERVALS} "
+            f"interval(s) of the restart close: {recovery}"
+        )
+    if not artefact["sla_met_at_end"]:
+        failures.append("SLA not met at the end of the run")
+    if result.injector.unmatched:
+        failures.append(
+            f"{len(result.injector.unmatched)} fault event(s) found no target"
+        )
+
+    print(f"control-plane smoke: {SCENARIO} in {seconds:.3f}s")
+    print(f"  crashes/restarts:        {supervisor.crashes}/{supervisor.restarts}")
+    print(f"  restored from interval:  {artefact['restored_from_interval']}")
+    print(f"  corrupt skipped:         {artefact['corrupt_skipped']}")
+    print(f"  replayed records:        {artefact['replayed_records']}")
+    print(f"  duplicate actions:       {len(duplicates)}")
+    print(f"  open intents:            {len(open_intents)}")
+    print(f"  stale action fenced:     {artefact['stale_attempt_fenced']}")
+    print(f"  SLA recovery intervals:  {recovery}")
+    if args.journal is not None:
+        print(f"  journal written to:      {args.journal}")
+    for failure in failures:
+        print(f"FAILURE: {failure}")
+    if not failures:
+        print("control-plane smoke: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -292,10 +292,68 @@ def _plan(args) -> int:
     return status
 
 
+def _chaos_storm(args) -> int:
+    """``repro chaos --seed N`` — replay one seeded random storm."""
+    from .experiments.chaos import (
+        ChaosStormConfig,
+        build_storm_plan,
+        run_chaos_storm,
+    )
+
+    config = ChaosStormConfig(
+        seed=args.seed,
+        events=args.events,
+        intervals=args.intervals or ChaosStormConfig.intervals,
+        clients=args.clients or ChaosStormConfig.clients,
+    )
+    # The plan is a pure function of (seed, config): print it up front so
+    # the operator sees what is about to hit the cluster, then replay it.
+    plan = build_storm_plan(config, "tpcw")
+    table = Table(
+        title=f"storm plan (seed {config.seed}, {config.events} events)",
+        headers=["t (s)", "fault", "target", "duration (s)"],
+    )
+    for event in plan.ordered():
+        table.add_row(
+            f"{event.at:.1f}",
+            event.kind.value,
+            event.target,
+            f"{event.duration:.1f}" if event.duration else "-",
+        )
+    print(table.render())
+    print()
+
+    result = run_chaos_storm(config)
+    print(
+        format_series(
+            f"storm — mean latency (seed {config.seed})",
+            result.latency_series,
+            x_label="t (s)",
+            y_label="latency",
+        )
+    )
+    table = Table(title="storm outcome", headers=["measure", "value"])
+    table.add_row("SLA violations", str(result.violations))
+    table.add_row("controller crashes", str(result.controller_crashes))
+    table.add_row("controller restarts", str(result.controller_restarts))
+    table.add_row("interval closes missed", str(result.missed_intervals))
+    table.add_row("final controller epoch", str(result.epoch_final))
+    table.add_row("duplicate actions", str(result.duplicate_actions))
+    table.add_row("unmatched faults", str(result.unmatched_faults))
+    print(table.render())
+    print(f"\nfaults injected: {result.faults_injected}")
+    print(f"final latency: {result.final_latency:.3f} s "
+          f"(SLA {result.sla_latency:.1f} s, "
+          f"met at end: {result.sla_met_at_end()})")
+    return 0
+
+
 def _chaos(args) -> int:
     """``repro chaos`` — the fault-injection storm and its degraded modes."""
     from .experiments.chaos import ChaosConfig, run_chaos
 
+    if getattr(args, "seed", None) is not None:
+        return _chaos_storm(args)
     config = ChaosConfig()
     if args.intervals:
         config = ChaosConfig(intervals=args.intervals)
@@ -489,6 +547,23 @@ def build_parser() -> argparse.ArgumentParser:
             zoo.add_argument("--export", type=str, default=None,
                              help="also write the quality report as JSONL "
                                   "to this path")
+            continue
+        if name == "chaos":
+            chaos = subparsers.add_parser(name, help=help_text)
+            chaos.add_argument("--clients", type=int, default=None,
+                               help="override the emulated client population")
+            chaos.add_argument("--intervals", type=int, default=None,
+                               help="override the number of measurement "
+                                    "intervals")
+            chaos.add_argument("--seed", type=int, default=None,
+                               help="replay a seeded *random* storm instead "
+                                    "of the scripted one (the plan is "
+                                    "printed before the replay; same seed, "
+                                    "same storm)")
+            chaos.add_argument("--events", type=int, default=6,
+                               help="events in the random storm "
+                                    "(default: %(default)s; only with "
+                                    "--seed)")
             continue
         if name == "plan":
             plan = subparsers.add_parser(name, help=help_text)

@@ -43,6 +43,9 @@ class ResourceManager:
         self._replica_seq: dict[str, int] = {}
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.history: list[AllocationEvent] = []
+        # Epoch fence shared with the controller when recovery is enabled;
+        # None keeps provisioning unconstrained (the default path).
+        self.fence = None
 
     # ------------------------------------------------------------------ #
     # Pool management                                                    #
@@ -80,6 +83,7 @@ class ResourceManager:
         pool_pages: int = 8192,
         exclusive: bool = False,
         server: str | None = None,
+        epoch: int | None = None,
     ) -> Replica:
         """Provision one more replica for ``scheduler``'s application.
 
@@ -89,8 +93,15 @@ class ResourceManager:
         with ``server`` (its plans name concrete servers); a pinned server
         must be pooled and not already run the application.  Raises
         ``RuntimeError`` when the pool cannot satisfy the request.
+
+        ``epoch`` declares the controller incarnation provisioning acts
+        for; with a fence installed, a stale epoch raises
+        :class:`~repro.recovery.fence.StaleEpochError` before any server
+        is taken.  ``None`` (the default) is not epoch-checked.
         """
         app = scheduler.app
+        if self.fence is not None:
+            self.fence.check(epoch, f"replica provisioning for {app!r}")
         if server is not None:
             if server not in self._servers:
                 raise KeyError(f"no pooled server named {server!r}")

@@ -112,6 +112,9 @@ class Scheduler:
         # The controller injects its observability handle when the scheduler
         # is wired in; the no-op default keeps standalone use overhead-free.
         self.obs = NULL_OBS
+        # Epoch fence shared with the controller when recovery is enabled;
+        # None keeps placement calls unconstrained (the default path).
+        self.fence = None
         self.interval_length = interval_length
         self.async_replication = async_replication
         self.propagation_delay = propagation_delay
@@ -186,8 +189,21 @@ class Scheduler:
     # Query-class placement (the fine-grained scheduling unit)           #
     # ------------------------------------------------------------------ #
 
-    def place_class(self, context_key: str, replica_names: list[str]) -> None:
-        """Pin a query class to a subset of the application's replicas."""
+    def place_class(
+        self,
+        context_key: str,
+        replica_names: list[str],
+        epoch: int | None = None,
+    ) -> None:
+        """Pin a query class to a subset of the application's replicas.
+
+        ``epoch`` declares which controller incarnation the placement acts
+        for; with a fence installed, a stale epoch raises
+        :class:`~repro.recovery.fence.StaleEpochError` before anything
+        changes.  ``None`` (the default) is not epoch-checked.
+        """
+        if self.fence is not None:
+            self.fence.check(epoch, f"placement of {context_key!r}")
         unknown = [n for n in replica_names if n not in self.replicas]
         if unknown:
             raise KeyError(f"unknown replicas in placement: {unknown}")
@@ -221,14 +237,16 @@ class Scheduler:
         """
         return {key: self.placement_of(key) for key in context_keys}
 
-    def move_class(self, context_key: str, to_replica: str) -> None:
+    def move_class(
+        self, context_key: str, to_replica: str, epoch: int | None = None
+    ) -> None:
         """Reschedule a class so it runs *only* on ``to_replica``.
 
         This is the paper's isolate-on-a-different-replica action; the
         class's partitions on its previous replicas simply stop receiving
         traffic (and cool down naturally).
         """
-        self.place_class(context_key, [to_replica])
+        self.place_class(context_key, [to_replica], epoch=epoch)
 
     # ------------------------------------------------------------------ #
     # Query routing                                                      #

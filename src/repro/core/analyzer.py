@@ -242,6 +242,37 @@ class LogAnalyzer:
                 reason=reason,
             ).inc()
 
+    def amnesia(self) -> None:
+        """Forget everything learned: the control-plane crash model.
+
+        A monitoring-agent restart keeps its configuration (engine
+        attachment, server identity, sampling rate) but loses process
+        memory: signatures, miss-ratio curves and their cache, window
+        watermarks, quarantine history and any armed fault hooks.  The
+        data plane — the engine's statistics log and buffer pool — is
+        untouched; it belongs to the database process, not the monitor.
+        Counters are reset by direct assignment so amnesia itself emits
+        no telemetry (recovery's zero-byte default contract).
+        """
+        self.signatures = SignatureStore(server=self.server_name)
+        self.mrc._curves.clear()
+        self.mrc._parameters.clear()
+        self.mrc.recomputations = 0
+        self.mrc_cache._entries.clear()
+        self.mrc_cache.hits = 0
+        self.mrc_cache.misses = 0
+        self._last_vectors = {}
+        self._mrc_window_len = {}
+        self._intervals_closed = 0
+        self._first_seen = {}
+        self.last_waits_for = None
+        self.last_lock_stats = {}
+        self._seen_marks = {}
+        self._gap_next = None
+        self._corrupt_next = None
+        self.degraded_last_interval = None
+        self.quarantined_intervals = 0
+
     # ------------------------------------------------------------------ #
     # Fault hooks (consumed by the next interval drain)                  #
     # ------------------------------------------------------------------ #

@@ -17,7 +17,7 @@ then goes straight to replica provisioning / application isolation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .analyzer import DecisionManager, LogAnalyzer
 from ..cluster.replica import Replica
@@ -114,6 +114,11 @@ class ClusterController:
         self.diagnoses: list[Diagnosis] = []
         self.plans: list = []  # CapacityPlans, when use_planner is on
         self._interval_index = 0
+        # Recovery hooks, installed by the ControlPlaneSupervisor when the
+        # harness enables recovery.  Both None by default: the classic
+        # actuation path then runs with zero extra work or telemetry.
+        self.fence = None  # EpochFence shared with schedulers/ResourceManager
+        self.journal = None  # ActionJournal (write-ahead action log)
 
     @property
     def interval_index(self) -> int:
@@ -133,6 +138,8 @@ class ClusterController:
             raise ValueError(f"app {scheduler.app!r} already has a scheduler")
         scheduler.interval_length = self.config.interval_length
         scheduler.obs = self.obs
+        if self.fence is not None:
+            scheduler.fence = self.fence
         self.schedulers[scheduler.app] = scheduler
         for replica in scheduler.replicas.values():
             self.track_replica(replica)
@@ -600,7 +607,43 @@ class ClusterController:
             )
         return views
 
+    def apply_action(self, action: Action, timestamp: float) -> bool:
+        """Epoch-checked, journaled actuation (the public apply path).
+
+        Without recovery installed this is plain actuation.  With a fence,
+        an unstamped action (epoch 0) is stamped with the current epoch; a
+        stale one — decided by a crashed incarnation — is journaled as
+        ``fenced`` and rejected without touching the cluster.  Anything
+        admitted is journaled write-ahead (``intent``) before actuating
+        and confirmed (``applied``) after, so a crash at any point leaves
+        enough evidence for the restart reconcile pass.
+        """
+        if self.fence is None:
+            return self._actuate(action, timestamp)
+        if action.epoch == 0:
+            action = replace(action, epoch=self.fence.epoch)
+        if not self.fence.admits(action.epoch):
+            self.fence.rejections += 1
+            if self.journal is not None:
+                self.journal.record_fenced(
+                    action, action.epoch, self._interval_index, timestamp
+                )
+            return False
+        if self.journal is not None:
+            self.journal.record_intent(
+                action, action.epoch, self._interval_index, timestamp
+            )
+        applied = self._actuate(action, timestamp)
+        if self.journal is not None:
+            self.journal.record_applied(
+                action, action.epoch, self._interval_index, timestamp, applied
+            )
+        return applied
+
     def _apply(self, action: Action, timestamp: float) -> bool:
+        return self.apply_action(action, timestamp)
+
+    def _actuate(self, action: Action, timestamp: float) -> bool:
         """Actuate one action; returns whether anything actually changed."""
         scheduler = self.schedulers[action.app]
         if action.kind is ActionKind.PROVISION_REPLICA:

@@ -66,6 +66,11 @@ class Action:
     replica: str | None = None
     context_key: str | None = None
     quotas: tuple[tuple[str, int], ...] = ()
+    epoch: int = 0
+    """Controller incarnation that decided this action.  0 means unstamped
+    (no recovery installed); the controller's fenced apply path stamps the
+    current epoch, and actuation layers reject anything older — an
+    in-flight action from a crashed incarnation must never land."""
 
     def quota_map(self) -> dict[str, int]:
         return dict(self.quotas)

@@ -1,6 +1,6 @@
 """Benchmark scenario registry and baseline harness.
 
-Twenty named scenarios — mirroring the ``benchmarks/`` pytest suite —
+Twenty-one named scenarios — mirroring the ``benchmarks/`` pytest suite —
 each a module-level zero-argument function returning the scenario's
 **artefact metrics** as plain JSON types: the deterministic numbers the
 corresponding benchmark asserts on (latencies, quotas, feasibility flags),
@@ -259,6 +259,46 @@ def bench_chaos_failover() -> dict:
     }
 
 
+def control_chaos_artefact(result) -> dict:
+    """Artefact dict for a :class:`ControlChaosResult` (shared with CI smoke)."""
+    supervisor = result.supervisor
+    journal = supervisor.journal
+    reconcile = supervisor.last_reconcile
+    return {
+        "latency_before": result.latency_before,
+        "quota_interval": result.quota_interval,
+        "quota_pages": result.quota_pages,
+        "cleared_quotas": [list(pair) for pair in result.cleared_quotas],
+        "crash_interval": result.crash_interval,
+        "restart_interval": result.restart_interval,
+        "missed_intervals": supervisor.missed_intervals,
+        "checkpoints_taken": supervisor.checkpoints.taken,
+        "corrupt_skipped": supervisor.checkpoints.corrupt_skipped,
+        "restored_from_interval": supervisor.restored_interval,
+        "cold_start": supervisor.cold_starts > 0,
+        "epoch_final": supervisor.epoch,
+        "replayed_records": supervisor.replayed_records,
+        "journal_counts": journal.counts(),
+        "duplicate_applied": to_jsonable(journal.duplicate_applied()),
+        "open_intents": len(journal.open_intents()),
+        "reconcile": reconcile.counts() if reconcile is not None else None,
+        "reconcile_repaired": list(reconcile.repaired) if reconcile else [],
+        "stale_attempt_fenced": result.stale_attempt_fenced,
+        "fence_rejections": supervisor.fence.rejections,
+        "sla_recovery_intervals_after_restart": (
+            result.sla_recovery_intervals_after_restart
+        ),
+        "sla_met_at_end": result.sla_met_at_end,
+        "final_latency": result.final_latency,
+    }
+
+
+def bench_chaos_control_plane() -> dict:
+    from .control_chaos import ControlChaosConfig, run_control_chaos
+
+    return control_chaos_artefact(run_control_chaos(ControlChaosConfig()))
+
+
 def bench_planner_sweep() -> dict:
     from .planner_sweep import run_planner_sweep
 
@@ -309,6 +349,7 @@ BENCH_SCENARIOS = {
     "ablations": bench_ablations,
     "ablation_sampled_mrc": bench_ablation_sampled_mrc,
     "chaos_failover": bench_chaos_failover,
+    "chaos_control_plane": bench_chaos_control_plane,
     "planner_sweep": bench_planner_sweep,
     "zoo_diurnal": bench_zoo_diurnal,
     "zoo_flash_crowd": bench_zoo_flash_crowd,
@@ -602,7 +643,10 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--check", action="store_true",
                         help="compare against committed baselines: exit "
                              "non-zero on artefact drift, warn on timing "
-                             f"outside the ±{TIMING_TOLERANCE:.0%} band")
+                             # argparse %-expands help strings, so the
+                             # percent sign must be doubled.
+                             f"outside the ±{TIMING_TOLERANCE * 100:.0f}%% "
+                             "band")
     parser.add_argument("--fresh-dir", type=str, default=None,
                         help="also write this run's BENCH_<name>.json here "
                              "(e.g. for upload as a CI artifact)")

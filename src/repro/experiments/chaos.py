@@ -28,7 +28,16 @@ from ..workloads.tpcw import build_tpcw
 from .index_drop import CPU_SCALE, EXPERIMENT_COST_MODEL, scale_cpu_costs
 from .runner import ClusterHarness
 
-__all__ = ["ChaosConfig", "ChaosResult", "run_chaos", "build_chaos_plan"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosResult",
+    "ChaosStormConfig",
+    "ChaosStormResult",
+    "run_chaos",
+    "build_chaos_plan",
+    "build_storm_plan",
+    "run_chaos_storm",
+]
 
 
 @dataclass(frozen=True)
@@ -188,6 +197,126 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosResult:
         if index < len(result.sla_series) and not result.sla_series[index]
     )
     result.pending_stale_dropped = scheduler.pending_stale_dropped_total
+    result.final_latency = sum(
+        latency for _, latency in result.latency_series[-3:]
+    ) / max(len(result.latency_series[-3:]), 1)
+    result.faults_injected = injector.applied_kinds()
+    result.unmatched_faults = len(injector.unmatched)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Seeded random storms (`repro chaos --seed N`)                          #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ChaosStormConfig:
+    """A seeded random storm over the same two-replica cluster."""
+
+    seed: int = 7
+    events: int = 6
+    intervals: int = 32
+    interval_length: float = 10.0
+    servers: int = 3
+    clients: int = 90
+    sla_latency: float = 1.0
+    workload_seed: int = 7
+    controller_faults: bool = True
+
+    @property
+    def horizon(self) -> float:
+        """Faults land in the first ~85% of the run so every storm gets a
+        few calm closing intervals to demonstrate (or fail) recovery."""
+        return (self.intervals - 4) * self.interval_length
+
+
+@dataclass
+class ChaosStormResult:
+    """One seeded storm's outcome."""
+
+    seed: int
+    plan: FaultPlan
+    sla_latency: float
+    latency_series: list[tuple[float, float]] = field(default_factory=list)
+    sla_series: list[bool] = field(default_factory=list)
+    violations: int = 0
+    missed_intervals: int = 0
+    controller_crashes: int = 0
+    controller_restarts: int = 0
+    epoch_final: int = 1
+    duplicate_actions: int = 0
+    final_latency: float = 0.0
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    unmatched_faults: int = 0
+
+    def sla_met_at_end(self) -> bool:
+        return bool(self.sla_series) and self.sla_series[-1]
+
+
+def build_storm_plan(config: ChaosStormConfig, app: str) -> FaultPlan:
+    """The seeded random plan for ``app``'s two-replica cluster.
+
+    Targets mirror :func:`build_chaos_plan`: only the first replica can
+    crash (the survivor keeps the application alive), slowdowns hit its
+    host, and the stats faults land on the surviving engine.  The same
+    seed and config always yield the same plan, so the CLI can print the
+    plan and then replay it from scratch.
+    """
+    return FaultPlan.random(
+        seed=config.seed,
+        replicas=[f"{app}-r1"],
+        hosts=["server-1"],
+        engines=[f"{app}-r2-engine"],
+        apps=[app],
+        horizon=config.horizon,
+        events=config.events,
+        controller=config.controller_faults,
+    )
+
+
+def run_chaos_storm(config: ChaosStormConfig | None = None) -> ChaosStormResult:
+    """Replay one seeded storm; recovery is enabled so control-plane
+    crashes have a supervisor to land on."""
+    config = config if config is not None else ChaosStormConfig()
+    workload = build_tpcw(seed=config.workload_seed)
+    scale_cpu_costs(workload, CPU_SCALE)
+    harness = ClusterHarness.single_app(
+        workload,
+        servers=config.servers,
+        clients=config.clients,
+        sla_latency=config.sla_latency,
+        server_spec=ServerSpec(cores=2),
+        cost_model=EXPERIMENT_COST_MODEL,
+    )
+    scheduler = harness.scheduler(workload.app)
+    scheduler.async_replication = True
+    second = harness.resource_manager.allocate_replica(scheduler, timestamp=0.0)
+    harness.controller.track_replica(second)
+    supervisor = harness.enable_recovery()
+
+    plan = build_storm_plan(config, workload.app)
+    injector = harness.install_faults(plan)
+
+    result = ChaosStormResult(
+        seed=config.seed, plan=plan, sla_latency=config.sla_latency
+    )
+    for _ in range(config.intervals):
+        step = harness.run(intervals=1)
+        timeline = step.timeline(workload.app)
+        if not timeline:
+            continue  # controller down: no close this interval
+        report = timeline[-1]
+        result.latency_series.append((report.timestamp, report.mean_latency))
+        result.sla_series.append(report.sla_met)
+        if not report.sla_met:
+            result.violations += 1
+
+    result.missed_intervals = supervisor.missed_intervals
+    result.controller_crashes = supervisor.crashes
+    result.controller_restarts = supervisor.restarts
+    result.epoch_final = supervisor.epoch
+    result.duplicate_actions = len(supervisor.journal.duplicate_applied())
     result.final_latency = sum(
         latency for _, latency in result.latency_series[-3:]
     ) / max(len(result.latency_series[-3:]), 1)

@@ -1,0 +1,251 @@
+"""Control-plane chaos: crash the controller mid-violation and recover.
+
+The scenario layers the §5.3 index-drop violation with a control-plane
+storm.  TPC-W warms up, the ``O_DATE`` index is dropped, the controller
+diagnoses the memory interference and imposes the BestSeller quota — the
+normal Figure 4 arc.  Then the storm hits:
+
+1. the engine-side quota silently vanishes (an operator "fixing" the pool
+   by hand) and latency starts violating again,
+2. the *newest checkpoint is corrupted* on disk,
+3. the controller crashes mid-violation.  Interval closes stop — a
+   monitoring gap while the data plane keeps serving degraded traffic.
+
+The watchdog restarts the controller.  Restart must prove every recovery
+property at once: the corrupt checkpoint is skipped for the previous
+digest-valid one, the journal suffix is replayed to restore action-grace
+bookkeeping, the epoch is bumped, and the reconcile pass notices the
+journaled quota intent diverges from the live engine and re-imposes it —
+after which the SLA recovers within two intervals of the restart close.
+Finally a stale in-flight action from the dead incarnation (epoch 1,
+halved quota) is thrown at the restarted controller and must bounce off
+the epoch fence without touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.controller import ControllerConfig
+from ..core.diagnosis import Action, ActionKind, DiagnosisConfig
+from ..faults import FaultPlan
+from ..recovery import RecoveryConfig
+from ..workloads.tpcw import O_DATE_INDEX, build_tpcw
+from .index_drop import CPU_SCALE, EXPERIMENT_COST_MODEL, scale_cpu_costs
+from .runner import ClusterHarness
+
+__all__ = ["ControlChaosConfig", "ControlChaosResult", "run_control_chaos"]
+
+
+@dataclass(frozen=True)
+class ControlChaosConfig:
+    """Tunables of the scenario (defaults are the benched storm)."""
+
+    clients: int = 60
+    intervals: int = 30
+    seed: int = 7
+    sla_latency: float = 1.0
+    drop_at: int = 12            # interval: O_DATE index disappears
+    capture_at: int = 19         # interval: stale action snapshotted
+    quota_clear_at: int = 20     # interval: engine quota wiped by hand
+    stale_attempt_at: int = 25   # interval: stale action thrown post-restart
+    corruption_time: float = 202.0
+    crash_time: float = 205.0
+    checkpoint_every: int = 2
+    watchdog_delay: float = 25.0
+
+    def __post_init__(self) -> None:
+        if not (
+            self.drop_at
+            < self.capture_at
+            <= self.quota_clear_at
+            < self.stale_attempt_at
+            < self.intervals
+        ):
+            raise ValueError(
+                "scenario hooks must be ordered "
+                "drop < capture <= clear < stale-attempt < end"
+            )
+        interval = 10.0  # ControllerConfig default interval length
+        if not (
+            self.quota_clear_at * interval
+            < self.corruption_time
+            < self.crash_time
+            < self.crash_time + self.watchdog_delay
+            < self.stale_attempt_at * interval
+        ):
+            raise ValueError(
+                "the storm (corruption, crash, watchdog restart) must fit "
+                "between the quota clear and the stale attempt"
+            )
+
+
+@dataclass
+class ControlChaosResult:
+    """Everything the scenario produced, for benches and assertions."""
+
+    app: str = ""
+    # Per-interval record: {"interval", "latency", "sla_met", "actions"}
+    # with latency/sla_met None while the controller is down (no close).
+    series: list[dict] = field(default_factory=list)
+    latency_before: float = 0.0
+    final_latency: float = 0.0
+    quota_interval: int | None = None
+    quota_replica: str | None = None
+    quota_pages: dict[str, int] = field(default_factory=dict)
+    cleared_quotas: list[tuple[str, str]] = field(default_factory=list)
+    stale_attempt_made: bool = False
+    stale_attempt_applied: bool = False
+    stale_attempt_fenced: bool = False
+    quota_after_stale_attempt: dict[str, int] = field(default_factory=dict)
+    crash_interval: int | None = None
+    restart_interval: int | None = None
+    sla_recovery_intervals_after_restart: int | None = None
+    sla_met_at_end: bool = False
+    # Live handles for deeper assertions (not serialised by benches).
+    supervisor: object = None
+    injector: object = None
+    _stale_action: Action | None = None
+
+
+def run_control_chaos(
+    config: ControlChaosConfig | None = None, obs=None
+) -> ControlChaosResult:
+    """Run the chaos storm; returns the evidence bundle."""
+    config = config if config is not None else ControlChaosConfig()
+    workload = build_tpcw(seed=config.seed)
+    scale_cpu_costs(workload, CPU_SCALE)
+
+    harness = ClusterHarness.single_app(
+        workload,
+        servers=2,
+        clients=config.clients,
+        sla_latency=config.sla_latency,
+        cost_model=EXPERIMENT_COST_MODEL,
+        config=ControllerConfig(
+            fallback_patience=4,
+            diagnosis=DiagnosisConfig(mrc_change_threshold=0.25),
+        ),
+        obs=obs,
+    )
+    supervisor = harness.enable_recovery(
+        RecoveryConfig(
+            checkpoint_every_intervals=config.checkpoint_every,
+            watchdog_restart_delay=config.watchdog_delay,
+        )
+    )
+    app = workload.app
+    result = ControlChaosResult(app=app)
+    result.supervisor = supervisor
+
+    plan = (
+        FaultPlan()
+        .checkpoint_corruption(config.corruption_time)
+        .controller_crash(config.crash_time)
+    )
+    result.injector = harness.install_faults(plan)
+
+    def drop_index(h: ClusterHarness) -> None:
+        workload.catalog.drop(O_DATE_INDEX)
+
+    def capture_stale(h: ClusterHarness) -> None:
+        # Snapshot the last applied quota action as a pre-crash in-flight
+        # message: epoch 1, *halved* pages — distinguishable both from the
+        # live quota (outside the 15% thrash window) and from a replay.
+        records = [
+            record
+            for record in supervisor.journal.entries("applied")
+            if record.applied
+            and record.action_kind == ActionKind.APPLY_QUOTAS.value
+        ]
+        if not records:
+            return
+        record = records[-1]
+        result.quota_replica = record.replica
+        result.quota_pages = {ctx: pages for ctx, pages in record.quotas}
+        result._stale_action = Action(
+            kind=ActionKind.APPLY_QUOTAS,
+            app=record.app,
+            reason="in-flight from the pre-crash incarnation",
+            replica=record.replica,
+            quotas=tuple(
+                (ctx, max(pages // 2, 1)) for ctx, pages in record.quotas
+            ),
+            epoch=record.epoch,
+        )
+
+    def clear_quota(h: ClusterHarness) -> None:
+        # An operator "fixes" the pool by hand: the engine-side quota
+        # vanishes without the controller (or its journal) knowing.
+        for replica in h.replicas_of(app):
+            for context_key in sorted(replica.engine.quotas):
+                replica.engine.clear_quota(context_key)
+                result.cleared_quotas.append((replica.name, context_key))
+
+    def stale_attempt(h: ClusterHarness) -> None:
+        if result._stale_action is None:
+            return
+        result.stale_attempt_made = True
+        result.stale_attempt_applied = h.controller.apply_action(
+            result._stale_action, h.clock.now
+        )
+        result.stale_attempt_fenced = not result.stale_attempt_applied
+        replica = h.scheduler(app).replicas.get(result._stale_action.replica)
+        if replica is not None:
+            result.quota_after_stale_attempt = dict(replica.engine.quotas)
+
+    harness.at_interval(config.drop_at, drop_index)
+    harness.at_interval(config.capture_at, capture_stale)
+    harness.at_interval(config.quota_clear_at, clear_quota)
+    harness.at_interval(config.stale_attempt_at, stale_attempt)
+
+    was_down = False
+    for index in range(config.intervals):
+        step = harness.run(intervals=1)
+        timeline = step.timeline(app)
+        if timeline:
+            report = timeline[-1]
+            entry = {
+                "interval": index,
+                "latency": report.mean_latency,
+                "sla_met": report.sla_met,
+                "actions": [action.kind.value for action in report.actions],
+            }
+            if was_down:
+                result.restart_interval = index
+                was_down = False
+            if result.quota_interval is None and any(
+                action.kind is ActionKind.APPLY_QUOTAS
+                for action in report.actions
+            ):
+                result.quota_interval = index
+        else:
+            entry = {
+                "interval": index, "latency": None, "sla_met": None,
+                "actions": [],
+            }
+            if not was_down:
+                result.crash_interval = index
+                was_down = True
+        result.series.append(entry)
+
+    closed = [e for e in result.series if e["sla_met"] is not None]
+    pre_drop = [e for e in closed if e["interval"] < config.drop_at]
+    if pre_drop:
+        result.latency_before = (
+            sum(e["latency"] for e in pre_drop[-3:]) / len(pre_drop[-3:])
+        )
+    if closed:
+        result.final_latency = closed[-1]["latency"]
+        result.sla_met_at_end = closed[-1]["sla_met"]
+    if result.restart_interval is not None:
+        met_after = [
+            e["interval"]
+            for e in closed
+            if e["interval"] >= result.restart_interval and e["sla_met"]
+        ]
+        if met_after:
+            result.sla_recovery_intervals_after_restart = (
+                met_after[0] - result.restart_interval
+            )
+    return result

@@ -96,6 +96,9 @@ class ClusterHarness:
         # scenarios) interleaved with interval processing by ``run``.
         self.events = EventLoop(clock=self.clock)
         self.fault_injector: FaultInjector | None = None
+        # Control-plane recovery, opt-in via enable_recovery(); None keeps
+        # the classic always-alive-controller behaviour byte-identical.
+        self.recovery = None
         self._interval_index = 0
 
     # ------------------------------------------------------------------ #
@@ -240,6 +243,29 @@ class ClusterHarness:
         return injector
 
     # ------------------------------------------------------------------ #
+    # Control-plane recovery                                             #
+    # ------------------------------------------------------------------ #
+
+    def enable_recovery(self, config=None):
+        """Install the control-plane recovery subsystem on this harness.
+
+        Returns the :class:`~repro.recovery.ControlPlaneSupervisor` (for
+        post-run assertions on checkpoints, journal and reconcile).  The
+        supervisor checkpoints periodically after interval closes, and the
+        ``controller_crash`` / ``controller_restart`` /
+        ``checkpoint_corruption`` fault kinds require it.  With recovery
+        enabled but no control-plane fault fired, a run's telemetry is
+        byte-identical to one without this call.
+        """
+        if self.recovery is not None:
+            raise RuntimeError("recovery is already enabled")
+        # Imported lazily so the default path never loads the subsystem.
+        from ..recovery import ControlPlaneSupervisor
+
+        self.recovery = ControlPlaneSupervisor(self, config)
+        return self.recovery
+
+    # ------------------------------------------------------------------ #
     # Scenario hooks                                                     #
     # ------------------------------------------------------------------ #
 
@@ -277,9 +303,18 @@ class ClusterHarness:
             for app in sorted(self.drivers):
                 self.drivers[app].run_interval(start, length)
             self.events.run_until(start + length)
+            if self.recovery is not None and self.recovery.down:
+                # A dead controller closes nothing: the data plane keeps
+                # serving and scheduler metrics accumulate into the first
+                # close after restart — a monitoring gap, not lost traffic.
+                self.recovery.note_missed_interval()
+                self._interval_index += 1
+                continue
             reports = self.controller.close_interval(self.clock.now)
             for report in reports:
                 result.timelines.setdefault(report.app, []).append(report)
+            if self.recovery is not None:
+                self.recovery.maybe_checkpoint(self.clock.now)
             self._interval_index += 1
         return result
 

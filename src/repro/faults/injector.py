@@ -38,9 +38,14 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
 
     def schedule(self) -> int:
-        """Put every plan event on the event loop; returns the count."""
+        """Put every plan event on the event loop; returns the count.
+
+        Validates the plan first (the backstop for plans assembled from
+        raw event lists — the fluent builders already validate on append).
+        """
         if self._scheduled:
             raise RuntimeError("fault plan already scheduled")
+        self.plan.validate()
         self._scheduled = True
         count = 0
         for event in self.plan.ordered():
@@ -96,6 +101,9 @@ class FaultInjector:
             FaultKind.STATS_GAP: self._stats_gap,
             FaultKind.METRIC_CORRUPTION: self._corruption,
             FaultKind.WRITE_STALL: self._write_stall,
+            FaultKind.CONTROLLER_CRASH: self._controller_crash,
+            FaultKind.CONTROLLER_RESTART: self._controller_restart,
+            FaultKind.CHECKPOINT_CORRUPTION: self._checkpoint_corruption,
         }[event.kind]
         with self._span(event):
             handler(event)
@@ -162,6 +170,39 @@ class FaultInjector:
             return
         for analyzer in analyzers:
             analyzer.inject_metric_corruption()
+        self._record(event)
+
+    def _controller_crash(self, event: FaultEvent) -> None:
+        """Kill the control plane via the harness's recovery supervisor.
+
+        A harness without recovery enabled (or with the controller already
+        down) cannot crash it — the event is counted as unmatched, same as
+        a fault naming a replica that does not exist.
+        """
+        recovery = getattr(self.harness, "recovery", None)
+        if recovery is None or recovery.down:
+            self._miss(event)
+            return
+        recovery.crash(
+            self.harness.clock.now,
+            restart_delay=event.duration if event.duration > 0 else None,
+        )
+        self._record(event)
+
+    def _controller_restart(self, event: FaultEvent) -> None:
+        recovery = getattr(self.harness, "recovery", None)
+        if recovery is None or not recovery.down:
+            # Not down: the watchdog (or an earlier event) won the race.
+            self._miss(event)
+            return
+        recovery.restart(self.harness.clock.now)
+        self._record(event)
+
+    def _checkpoint_corruption(self, event: FaultEvent) -> None:
+        recovery = getattr(self.harness, "recovery", None)
+        if recovery is None or not recovery.corrupt_latest_checkpoint():
+            self._miss(event)  # no recovery, or nothing checkpointed yet
+            return
         self._record(event)
 
     def _write_stall(self, event: FaultEvent) -> None:

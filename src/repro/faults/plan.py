@@ -34,6 +34,9 @@ class FaultKind(str, Enum):
     STATS_GAP = "stats_gap"
     METRIC_CORRUPTION = "metric_corruption"
     WRITE_STALL = "write_stall"
+    CONTROLLER_CRASH = "controller_crash"
+    CONTROLLER_RESTART = "controller_restart"
+    CHECKPOINT_CORRUPTION = "checkpoint_corruption"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -43,6 +46,18 @@ _TARGETED_AT_REPLICAS = (FaultKind.REPLICA_CRASH, FaultKind.REPLICA_RECOVER)
 _TARGETED_AT_HOSTS = (FaultKind.IO_SLOWDOWN, FaultKind.CPU_SLOWDOWN)
 _TARGETED_AT_ENGINES = (FaultKind.STATS_GAP, FaultKind.METRIC_CORRUPTION)
 _TARGETED_AT_APPS = (FaultKind.WRITE_STALL,)
+_TARGETED_AT_CONTROLLER = (
+    FaultKind.CONTROLLER_CRASH,
+    FaultKind.CONTROLLER_RESTART,
+    FaultKind.CHECKPOINT_CORRUPTION,
+)
+# Recovery-style events and the crash kind each must be paired with: a
+# recovery without a preceding unmatched crash of the same target is a
+# plan bug, rejected at build time.
+_RECOVERY_PAIRS = {
+    FaultKind.REPLICA_RECOVER: FaultKind.REPLICA_CRASH,
+    FaultKind.CONTROLLER_RESTART: FaultKind.CONTROLLER_CRASH,
+}
 
 
 @dataclass(frozen=True)
@@ -99,6 +114,16 @@ class FaultPlan:
 
     def add(self, event: FaultEvent) -> "FaultPlan":
         self.events.append(event)
+        if event.kind in _RECOVERY_PAIRS:
+            # Build-time validation: a recovery must follow its crash.
+            # Checking on every recovery-event append (rather than only at
+            # replay time) surfaces the mistake at the line that made it.
+            try:
+                self._check_pairing(_RECOVERY_PAIRS[event.kind], event.kind,
+                                    event.target)
+            except ValueError:
+                self.events.pop()  # a rejected append must not pollute the plan
+                raise
         return self
 
     def crash(self, at: float, replica: str) -> "FaultPlan":
@@ -106,6 +131,29 @@ class FaultPlan:
 
     def recover(self, at: float, replica: str) -> "FaultPlan":
         return self.add(FaultEvent(at, FaultKind.REPLICA_RECOVER, replica))
+
+    def controller_crash(
+        self, at: float, duration: float = 0.0, target: str = "controller"
+    ) -> "FaultPlan":
+        """Crash the control plane; ``duration`` (when positive) overrides
+        the supervisor's watchdog delay for this outage."""
+        return self.add(FaultEvent(
+            at, FaultKind.CONTROLLER_CRASH, target, duration=duration
+        ))
+
+    def controller_restart(
+        self, at: float, target: str = "controller"
+    ) -> "FaultPlan":
+        """Explicitly restart a crashed controller (ahead of the watchdog)."""
+        return self.add(FaultEvent(at, FaultKind.CONTROLLER_RESTART, target))
+
+    def checkpoint_corruption(
+        self, at: float, target: str = "controller"
+    ) -> "FaultPlan":
+        """Corrupt the newest control-plane checkpoint in place."""
+        return self.add(FaultEvent(
+            at, FaultKind.CHECKPOINT_CORRUPTION, target
+        ))
 
     def io_slowdown(
         self, at: float, host: str, factor: float, duration: float,
@@ -135,6 +183,53 @@ class FaultPlan:
         return self.add(FaultEvent(
             at, FaultKind.WRITE_STALL, app, duration=duration
         ))
+
+    # ------------------------------------------------------------------ #
+    # Validation                                                         #
+    # ------------------------------------------------------------------ #
+
+    def _check_pairing(
+        self, crash_kind: FaultKind, recover_kind: FaultKind, target: str
+    ) -> None:
+        """Every recovery of ``target`` must follow an unmatched crash.
+
+        Walks the target's crash/recovery events in replay order (time,
+        then insertion for ties) keeping the outstanding-crash depth; a
+        recovery that would drive the depth negative precedes its paired
+        crash — replay would try to revive something that never died.
+        """
+        family = [
+            event for event in self.events
+            if event.target == target
+            and event.kind in (crash_kind, recover_kind)
+        ]
+        depth = 0
+        for event in sorted(family, key=lambda e: e.at):
+            depth += 1 if event.kind is crash_kind else -1
+            if depth < 0:
+                raise ValueError(
+                    f"{event.kind.value} of {target!r} at t={event.at} "
+                    f"precedes its paired {crash_kind.value}: nothing is "
+                    "down at that point"
+                )
+
+    def validate(self) -> "FaultPlan":
+        """Re-check the whole plan's crash/recovery pairing; returns self.
+
+        The fluent builders validate on every append, but plans can also be
+        assembled from raw event lists (``FaultPlan(events=[...])`` or
+        :meth:`shifted`); the injector calls this before scheduling as the
+        backstop.  Negative timestamps are impossible by construction —
+        :class:`FaultEvent` rejects them.
+        """
+        for recover_kind, crash_kind in _RECOVERY_PAIRS.items():
+            targets = {
+                event.target for event in self.events
+                if event.kind in (crash_kind, recover_kind)
+            }
+            for target in sorted(targets):
+                self._check_pairing(crash_kind, recover_kind, target)
+        return self
 
     # ------------------------------------------------------------------ #
     # Introspection                                                      #
@@ -196,15 +291,20 @@ class FaultPlan:
         events: int = 6,
         min_outage: float = 10.0,
         max_outage: float = 60.0,
+        controller: bool = False,
     ) -> "FaultPlan":
         """A seeded plan: same seed and targets, same plan — always.
 
         Crash events always schedule a matching recovery ``min_outage`` to
         ``max_outage`` seconds later (clipped to the horizon), so random
         plans never strand a replica offline forever; the other kinds draw
-        uniformly over their target lists.  Every draw comes from a single
-        named :class:`RandomStream`, so plan generation is insulated from
-        any other stream the simulation consumes.
+        uniformly over their target lists.  With ``controller=True`` the
+        draw pool also includes control-plane crashes (each paired with an
+        explicit restart, same outage bounds) — the run must then have
+        recovery enabled or the events fall through as unmatched.  Every
+        draw comes from a single named :class:`RandomStream`, so plan
+        generation is insulated from any other stream the simulation
+        consumes.
         """
         if not replicas:
             raise ValueError("a random plan needs at least one replica name")
@@ -221,6 +321,8 @@ class FaultPlan:
             kinds += [FaultKind.STATS_GAP, FaultKind.METRIC_CORRUPTION]
         if apps:
             kinds += [FaultKind.WRITE_STALL]
+        if controller:
+            kinds += [FaultKind.CONTROLLER_CRASH]
         for _ in range(events):
             kind = stream.choice(kinds)
             at = stream.uniform(0.0, horizon)
@@ -231,6 +333,12 @@ class FaultPlan:
                 )
                 plan.crash(at, replica)
                 plan.recover(back, replica)
+            elif kind is FaultKind.CONTROLLER_CRASH:
+                back = min(
+                    at + stream.uniform(min_outage, max_outage), horizon
+                )
+                plan.controller_crash(at)
+                plan.controller_restart(back)
             elif kind in _TARGETED_AT_HOSTS:
                 host = stream.choice(hosts)
                 factor = 1.0 + stream.uniform(0.25, 3.0)

@@ -1,0 +1,42 @@
+"""Control-plane crash recovery: checkpoints, journal, fencing, reconcile.
+
+The subsystem makes the controller/analyzer decision layer survive process
+crashes without violating its own retuning guarantees:
+
+* :mod:`repro.recovery.state` — exact serializable snapshots of controller
+  and analyzer decision state (streaks, signatures, MRCs, watermarks);
+* :mod:`repro.recovery.checkpoint` — a digest-verified ring of periodic
+  checkpoints with corruption fallback;
+* :mod:`repro.recovery.journal` — the append-only write-ahead action
+  journal (intent → applied → fenced lifecycle per action);
+* :mod:`repro.recovery.fence` — epoch fencing: actions stamped by a
+  crashed incarnation can never actuate after a restart;
+* :mod:`repro.recovery.reconcile` — diff journaled intent against the
+  live cluster on restart, repairing divergence instead of re-acting;
+* :mod:`repro.recovery.supervisor` — the lifecycle owner wiring it all to
+  a :class:`~repro.experiments.runner.ClusterHarness` (periodic
+  checkpoints, crash wipe, watchdog restart).
+
+Everything is opt-in via ``harness.enable_recovery()`` and none of it
+emits telemetry: a run with recovery enabled but no control-plane fault
+exports byte-identical telemetry to one without recovery installed.
+"""
+
+from .checkpoint import Checkpoint, CheckpointStore
+from .fence import EpochFence, StaleEpochError
+from .journal import ActionJournal, JournalRecord
+from .reconcile import ReconcileReport, reconcile
+from .supervisor import ControlPlaneSupervisor, RecoveryConfig
+
+__all__ = [
+    "ActionJournal",
+    "Checkpoint",
+    "CheckpointStore",
+    "ControlPlaneSupervisor",
+    "EpochFence",
+    "JournalRecord",
+    "ReconcileReport",
+    "RecoveryConfig",
+    "StaleEpochError",
+    "reconcile",
+]

@@ -1,0 +1,84 @@
+"""Property: recovery machinery is invisible on the healthy path.
+
+Two pins, both byte-level on exported telemetry:
+
+* enabling recovery (checkpoints and all) on a fault-free run exports
+  exactly the bytes of a run without recovery, and
+* interrupting a run at an arbitrary interval with checkpoint → wipe →
+  restore, then resuming, exports exactly the bytes of the uninterrupted
+  run — the serialized state is *complete*: nothing the rest of the run
+  depends on lives outside it.
+
+Every Hypothesis example runs two full simulations, so the example
+budgets are deliberately small; the split point and cluster shape are the
+interesting dimensions, not the volume.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.controller import ControllerConfig
+from repro.experiments.runner import ClusterHarness
+from repro.obs import Observability, telemetry_lines
+from repro.recovery import RecoveryConfig
+from repro.workloads import build_tpcw
+
+META = {"scenario": "prop-recovery", "seed": 7}
+
+
+def make_harness(clients, obs):
+    workload = build_tpcw(seed=7)
+    return ClusterHarness.single_app(
+        workload, servers=2, clients=clients,
+        config=ControllerConfig(), obs=obs,
+    )
+
+
+def run_uninterrupted(clients, intervals, recovery):
+    obs = Observability()
+    harness = make_harness(clients, obs)
+    if recovery:
+        harness.enable_recovery(RecoveryConfig(checkpoint_every_intervals=1))
+    harness.run(intervals=intervals)
+    return telemetry_lines(obs, meta=META)
+
+
+def run_interrupted(clients, intervals, split):
+    obs = Observability()
+    harness = make_harness(clients, obs)
+    supervisor = harness.enable_recovery(
+        RecoveryConfig(checkpoint_every_intervals=1)
+    )
+    harness.run(intervals=split)
+    state = supervisor.snapshot()
+    supervisor.wipe()
+    supervisor.restore_state(state)
+    harness.run(intervals=intervals - split)
+    return telemetry_lines(obs, meta=META)
+
+
+@given(
+    clients=st.integers(min_value=6, max_value=14),
+    intervals=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=6, deadline=None)
+def test_recovery_enabled_is_byte_invisible(clients, intervals):
+    """Recovery on vs off: same bytes when nothing crashes."""
+    with_recovery = run_uninterrupted(clients, intervals, recovery=True)
+    without = run_uninterrupted(clients, intervals, recovery=False)
+    assert with_recovery == without
+
+
+@given(
+    clients=st.integers(min_value=6, max_value=14),
+    intervals=st.integers(min_value=2, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=8, deadline=None)
+def test_checkpoint_restore_resume_is_byte_identical(clients, intervals, data):
+    """Interrupt anywhere: restore must reproduce the uninterrupted run."""
+    split = data.draw(
+        st.integers(min_value=1, max_value=intervals - 1), label="split"
+    )
+    interrupted = run_interrupted(clients, intervals, split)
+    uninterrupted = run_uninterrupted(clients, intervals, recovery=True)
+    assert interrupted == uninterrupted

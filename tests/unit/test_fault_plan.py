@@ -159,3 +159,113 @@ class TestRandomPlans:
     def test_kinds_restricted_to_named_targets(self):
         plan = FaultPlan.random(9, replicas=["r1"], events=10)
         assert set(plan.kinds()) <= {"replica_crash", "replica_recover"}
+
+
+class TestControllerBuilders:
+    def test_controller_storm_chains(self):
+        plan = (
+            FaultPlan()
+            .checkpoint_corruption(90.0)
+            .controller_crash(100.0)
+            .controller_restart(130.0)
+        )
+        assert plan.kinds() == {
+            "checkpoint_corruption": 1,
+            "controller_crash": 1,
+            "controller_restart": 1,
+        }
+        assert all(e.target == "controller" for e in plan.ordered())
+
+    def test_controller_crash_duration_overrides_watchdog(self):
+        [event] = FaultPlan().controller_crash(10.0, duration=42.0).ordered()
+        assert event.duration == 42.0
+
+    def test_negative_time_rejected_for_controller_kinds(self):
+        with pytest.raises(ValueError):
+            FaultPlan().controller_crash(-1.0)
+
+
+class TestRecoveryPairingValidation:
+    def test_recover_before_crash_rejected_at_append(self):
+        plan = FaultPlan().crash(50.0, "r1")
+        with pytest.raises(ValueError, match="precedes its paired"):
+            plan.recover(20.0, "r1")
+
+    def test_rejected_append_does_not_pollute_the_plan(self):
+        plan = FaultPlan().crash(50.0, "r1")
+        with pytest.raises(ValueError):
+            plan.recover(20.0, "r1")
+        assert len(plan) == 1
+        plan.recover(60.0, "r1")  # a correct pairing still works afterwards
+        assert len(plan) == 2
+
+    def test_recover_without_any_crash_rejected(self):
+        with pytest.raises(ValueError, match="nothing is down"):
+            FaultPlan().recover(20.0, "r1")
+
+    def test_restart_before_controller_crash_rejected(self):
+        plan = FaultPlan().controller_crash(100.0)
+        with pytest.raises(ValueError, match="controller_crash"):
+            plan.controller_restart(90.0)
+
+    def test_pairing_is_per_target(self):
+        # r2's recovery cannot borrow r1's crash.
+        plan = FaultPlan().crash(10.0, "r1")
+        with pytest.raises(ValueError):
+            plan.recover(20.0, "r2")
+
+    def test_nested_outages_are_legal(self):
+        plan = (
+            FaultPlan()
+            .crash(10.0, "r1")
+            .recover(20.0, "r1")
+            .crash(30.0, "r1")
+            .recover(40.0, "r1")
+        )
+        assert len(plan.validate()) == 4
+
+    def test_double_recovery_of_one_outage_rejected(self):
+        plan = FaultPlan().crash(10.0, "r1").recover(20.0, "r1")
+        with pytest.raises(ValueError):
+            plan.recover(25.0, "r1")
+
+    def test_validate_backstops_raw_event_lists(self):
+        from repro.faults import FaultEvent, FaultKind
+
+        plan = FaultPlan(events=[
+            FaultEvent(20.0, FaultKind.REPLICA_RECOVER, "r1"),
+            FaultEvent(50.0, FaultKind.REPLICA_CRASH, "r1"),
+        ])
+        with pytest.raises(ValueError, match="precedes its paired"):
+            plan.validate()
+
+    def test_validate_returns_self_on_clean_plans(self):
+        plan = FaultPlan().crash(10.0, "r1").recover(20.0, "r1")
+        assert plan.validate() is plan
+
+    def test_checkpoint_corruption_needs_no_pairing(self):
+        assert len(FaultPlan().checkpoint_corruption(5.0).validate()) == 1
+
+
+class TestRandomControllerStorms:
+    def test_controller_crashes_pair_with_restarts(self):
+        plan = FaultPlan.random(
+            13, replicas=["r1"], events=16, controller=True, horizon=400.0
+        )
+        kinds = plan.kinds()
+        assert kinds.get("controller_crash", 0) >= 1  # seed 13 draws some
+        assert kinds.get("controller_crash", 0) == kinds.get(
+            "controller_restart", 0
+        )
+        plan.validate()
+
+    def test_controller_disabled_by_default(self):
+        plan = FaultPlan.random(13, replicas=["r1"], events=16, horizon=400.0)
+        assert "controller_crash" not in plan.kinds()
+
+    def test_same_seed_same_controller_storm(self):
+        kwargs = dict(replicas=["r1"], events=10, controller=True)
+        assert (
+            FaultPlan.random(4, **kwargs).to_jsonable()
+            == FaultPlan.random(4, **kwargs).to_jsonable()
+        )
