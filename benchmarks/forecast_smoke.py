@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Forecast smoke: predictive SLA enforcement keeps its wins, never thrashes.
+
+Runs the reactive-vs-predictive forecast evaluation once and asserts:
+
+1. **artefact unchanged** — the eval artefact matches the committed
+   ``BENCH_forecast_eval.json`` in the registry's canonical comparison
+   (drift is a hard failure, exactly as in ``perf_smoke.py``); this pins
+   the SLA timelines, the act-ahead bookkeeping and the planning-point
+   validation error in one shot;
+2. **the predictive win is real** — on ``flash_crowd`` the predictive run
+   must avoid at least one SLA-violation interval relative to the
+   reactive baseline (the paper-level claim of the subsystem);
+3. **no false-positive thrash** — acting ahead is allowed to be wrong,
+   but never noisily: per scenario the policy may fire at most twice,
+   every applied plan or scale-out must trace back to a gated act-ahead,
+   and the false-positive budget must never exhaust (an exhausted budget
+   means the controller silently degraded to purely reactive);
+4. **honest predictions** — the planning-point what-if validation must
+   hold (predicted vs simulated miss ratios within the validator's
+   tolerance).
+
+``--export`` writes the eval's forecast-decision records as JSONL (the
+artifact CI uploads; ``repro obs report --input`` renders it).
+
+Run from the repo root (CI runs it in the bench-baseline job)::
+
+    PYTHONPATH=src python benchmarks/forecast_smoke.py [--export records.jsonl]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.bench import (  # noqa: E402
+    BenchRun,
+    compare_with_baseline,
+    load_baseline,
+)
+from repro.experiments.forecast_eval import (  # noqa: E402
+    forecast_eval_artefact,
+    run_forecast_eval,
+)
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+MAX_ACTS_PER_SCENARIO = 2
+WIN_SCENARIO = "flash_crowd"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--export",
+        type=str,
+        default=None,
+        help="write the forecast-decision records as JSONL to this path",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    result = run_forecast_eval()
+    artefact = forecast_eval_artefact(result)
+    seconds = time.perf_counter() - start
+
+    failures: list[str] = []
+
+    baseline = load_baseline(BASELINE_DIR, "forecast_eval")
+    if baseline is None:
+        failures.append("no committed baseline for forecast_eval")
+    else:
+        run = BenchRun(name="forecast_eval", artefact=artefact,
+                       seconds=seconds)
+        comparison = compare_with_baseline(run, baseline)
+        if not comparison.artefact_ok:
+            drift = "; ".join(comparison.drift[:5])
+            failures.append(f"forecast_eval: artefact drift vs baseline: "
+                            f"{drift}")
+
+    win = artefact["scenarios"].get(WIN_SCENARIO, {})
+    avoided = win.get("intervals_avoided", 0)
+    if avoided < 1:
+        failures.append(
+            f"{WIN_SCENARIO}: predictive avoided {avoided} SLA-violation "
+            f"intervals vs reactive; the gate requires at least 1"
+        )
+
+    for name, scenario in sorted(artefact["scenarios"].items()):
+        acted = scenario["acted"]
+        mutations = scenario["plans_applied"] + scenario["scale_outs"]
+        if acted > MAX_ACTS_PER_SCENARIO:
+            failures.append(
+                f"{name}: {acted} act-aheads fired (max "
+                f"{MAX_ACTS_PER_SCENARIO}) — the policy is thrashing"
+            )
+        if mutations > acted:
+            failures.append(
+                f"{name}: {mutations} cluster mutations from {acted} "
+                f"act-aheads — an ungated action slipped past the policy"
+            )
+        if scenario["budget_remaining"] < 1:
+            failures.append(
+                f"{name}: false-positive budget exhausted — predictive "
+                f"enforcement silently degraded to reactive"
+            )
+
+    validation = artefact.get("validation")
+    if validation is None:
+        failures.append("forecast_eval: no planning-point validation ran")
+    elif not validation["ok"]:
+        failures.append(
+            f"forecast_eval: what-if validation failed (max relative "
+            f"error {validation['max_relative_error']:.4f})"
+        )
+
+    for name, scenario in sorted(artefact["scenarios"].items()):
+        print(
+            f"forecast smoke: {name} — reactive "
+            f"{scenario['violations_reactive']} vs predictive "
+            f"{scenario['violations_predictive']} violations "
+            f"(avoided {scenario['intervals_avoided']}), "
+            f"acted {scenario['acted']}, "
+            f"false alarms {scenario['false_alarms']}, "
+            f"budget left {scenario['budget_remaining']}"
+        )
+    if validation is not None:
+        print(
+            f"forecast smoke: validation max relative error "
+            f"{validation['max_relative_error']:.4f} "
+            f"(ok: {validation['ok']}) in {seconds:.3f}s"
+        )
+
+    if args.export:
+        from repro.analysis.export import export_forecast
+
+        config = result.config
+        path = export_forecast(
+            args.export,
+            result.records(),
+            meta={
+                "scenario": "forecast_eval",
+                "seed": config.seed,
+                "horizon": config.horizon,
+            },
+        )
+        print(f"forecast smoke: records written to {path}")
+
+    if failures:
+        for failure in failures:
+            print(f"forecast smoke: FAIL — {failure}", file=sys.stderr)
+        return 1
+    print("forecast smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

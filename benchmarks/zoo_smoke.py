@@ -19,7 +19,9 @@ asserts:
    The precision floors are deliberately low: they pin the detector's
    *measured* false-positive behaviour (collateral outliers whose stable
    miss counts are near zero), not an aspirational one.  Raising a floor
-   must come from a detector improvement, not from relabelling.
+   must come from a detector improvement, not from relabelling — the
+   current floors were raised when Laplace-smoothed metric ratios removed
+   a class of spurious near-zero-baseline outliers.
 3. **false-positive control** — ``diurnal`` (pure CPU saturation, no
    guilty class) must stay at precision 1.0: any class-level detection
    there is a regression in the memory-outlier path.
@@ -51,8 +53,8 @@ BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
 # scenario -> (precision floor, recall floor); measured at seed 7.
 QUALITY_FLOORS = {
     "zoo_diurnal": (1.0, 1.0),
-    "zoo_flash_crowd": (0.45, 0.99),
-    "zoo_noisy_neighbour": (0.15, 0.99),
+    "zoo_flash_crowd": (0.55, 0.99),
+    "zoo_noisy_neighbour": (0.2, 0.99),
 }
 SCENARIOS = tuple(QUALITY_FLOORS)
 

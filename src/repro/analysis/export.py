@@ -25,6 +25,8 @@ __all__ = [
     "allocation_records",
     "export_allocation_history",
     "export_quality",
+    "forecast_records",
+    "export_forecast",
 ]
 
 
@@ -117,6 +119,50 @@ def export_quality(path: str | Path, reports, meta=None) -> Path:
         records.extend(quality_records(report))
     path.write_text(
         "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+    )
+    return path
+
+
+def forecast_records(records) -> list[dict]:
+    """Forecast decision records as JSONL-ready dicts.
+
+    ``records`` is an iterable of :class:`repro.forecast.ForecastRecord`
+    (e.g. ``engine.records``); each becomes one ``{"record": "forecast",
+    ...}`` dict — the per-interval prediction, the act-ahead policy's
+    verdict, and (once its window closed) the real outcome.
+    """
+    return [
+        {
+            "record": "forecast",
+            "interval": record.interval,
+            "app": record.app,
+            "horizon": record.horizon,
+            "predicted_latency": round(record.predicted_latency, 6),
+            "threshold": round(record.threshold, 6),
+            "confidence": round(record.confidence, 6),
+            "decision": record.decision,
+            "acted": record.acted,
+            "seed": record.seed,
+            "outcome": record.outcome,
+        }
+        for record in records
+    ]
+
+
+def export_forecast(path: str | Path, records, meta=None) -> Path:
+    """Write forecast records as deterministic JSONL; returns the path.
+
+    An optional ``meta`` dict is written first as a ``{"record": "meta",
+    ...}`` line, mirroring telemetry and quality exports; the result is
+    the artifact ``repro obs report`` renders and CI uploads.
+    """
+    path = Path(path)
+    lines: list[dict] = []
+    if meta is not None:
+        lines.append({"record": "meta", **to_jsonable(meta)})
+    lines.extend(forecast_records(records))
+    path.write_text(
+        "".join(json.dumps(line, sort_keys=True) + "\n" for line in lines)
     )
     return path
 

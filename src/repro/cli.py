@@ -11,6 +11,7 @@ Usage::
     python -m repro obs report           # telemetry summary of the quickstart
     python -m repro zoo                  # anomaly zoo + detection quality
     python -m repro plan --validate      # capacity plan + what-if validation
+    python -m repro forecast             # reactive vs predictive SLA diff
     python -m repro bench --parallel 4   # benchmark scenarios, sharded
     python -m repro all                  # everything, in order
 
@@ -450,6 +451,88 @@ def _zoo(args) -> int:
     return 0
 
 
+def _forecast(args) -> int:
+    """``repro forecast`` — reactive vs predictive SLA enforcement.
+
+    Runs the forecast evaluation: two forecastable scenarios (the
+    flash-crowd surge and a ramping chaos I/O slowdown), each once with
+    the classic reactive controller and once with
+    ``ControllerConfig.use_forecast``, then the frozen planning-point
+    validation (predicted snapshot -> plan -> what-if replay).
+    """
+    from .experiments.forecast_eval import (
+        ForecastEvalConfig,
+        forecast_eval_artefact,
+        run_forecast_eval,
+    )
+
+    config = ForecastEvalConfig()
+    if args.horizon is not None:
+        config = ForecastEvalConfig(horizon=args.horizon)
+    if args.margin is not None:
+        config = ForecastEvalConfig(
+            horizon=config.horizon, margin=args.margin
+        )
+    result = run_forecast_eval(config)
+    artefact = forecast_eval_artefact(result)
+
+    table = Table(
+        title=f"reactive vs predictive (horizon {config.horizon}, "
+              f"margin {config.margin:g})",
+        headers=["scenario", "reactive", "predictive", "avoided",
+                 "acted", "hits", "false alarms", "budget left"],
+    )
+    for outcome in result.outcomes:
+        score = outcome.score
+        table.add_row(
+            outcome.name,
+            str(score.violations_reactive),
+            str(score.violations_predictive),
+            str(score.intervals_avoided),
+            str(score.acted),
+            str(score.hits),
+            str(score.false_alarms),
+            str(outcome.stats.get("budget_remaining", 0)),
+        )
+    print(table.render())
+    print()
+    for outcome in result.outcomes:
+        print(f"{outcome.name:12s} reactive   {outcome.sla_reactive}")
+        print(f"{'':12s} predictive {outcome.sla_predictive}")
+    print(f"\nSLA-violation intervals avoided: "
+          f"{result.total_intervals_avoided}")
+    if result.plan is not None:
+        print(f"planning-point plan: {len(result.plan.steps)} steps, "
+              f"digest {result.plan.digest()[:16]}")
+    if result.validation is not None:
+        checks = artefact["validation"]
+        print(f"predicted vs simulated: max relative error "
+              f"{checks['max_relative_error']:.4f} "
+              f"(ok: {checks['ok']})")
+    status = 0
+    if result.validation is not None and not result.validation.ok:
+        status = 1
+    if args.export:
+        from .analysis.export import export_result
+
+        path = export_result(args.export, artefact)
+        print(f"\nartefact written: {path}")
+    if args.records:
+        from .analysis.export import export_forecast
+
+        path = export_forecast(
+            args.records,
+            result.records(),
+            meta={
+                "scenario": "forecast_eval",
+                "seed": config.seed,
+                "horizon": config.horizon,
+            },
+        )
+        print(f"forecast records written: {path}")
+    return status
+
+
 def _bench(args) -> int:
     """``repro bench`` — run the benchmark scenario registry.
 
@@ -490,6 +573,7 @@ _COMMANDS = {
     "locks": (_locks, "lock-contention anomaly (the paper's future work)"),
     "chaos": (_chaos, "fault-injection storm: failover, quarantine, recovery"),
     "plan": (_plan, "capacity planner: print/validate/apply a cluster plan"),
+    "forecast": (_forecast, "predictive SLA enforcement: reactive vs forecast"),
     "obs": (_obs, "telemetry: span timings, recomputations, actions"),
     "zoo": (_zoo, "workload zoo: anomaly scenarios, detection quality"),
     "bench": (_bench, "benchmark scenarios: run, time, check baselines"),
@@ -564,6 +648,21 @@ def build_parser() -> argparse.ArgumentParser:
                                help="events in the random storm "
                                     "(default: %(default)s; only with "
                                     "--seed)")
+            continue
+        if name == "forecast":
+            forecast = subparsers.add_parser(name, help=help_text)
+            forecast.add_argument("--horizon", type=int, default=None,
+                                  help="forecast horizon in intervals "
+                                       "(default: 2)")
+            forecast.add_argument("--margin", type=float, default=None,
+                                  help="act-ahead margin as a fraction of "
+                                       "the SLA (default: 0.9)")
+            forecast.add_argument("--export", type=str, default=None,
+                                  help="also write the eval artefact as "
+                                       "JSON to this path")
+            forecast.add_argument("--records", type=str, default=None,
+                                  help="also write the forecast-decision "
+                                       "records as JSONL to this path")
             continue
         if name == "plan":
             plan = subparsers.add_parser(name, help=help_text)

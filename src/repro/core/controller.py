@@ -59,6 +59,21 @@ class ControllerConfig:
     (:mod:`repro.planner`) instead of the single-server quota path.  Off by
     default: the flag must not change a byte of the classic behaviour."""
     planner_seed: int = 0
+    use_forecast: bool = False
+    """Predictive SLA enforcement (:mod:`repro.forecast`): learn per-class
+    and per-app dynamics online and fire the capacity planner against a
+    *predicted* snapshot before the forecast violation lands.  Off by
+    default, same byte-identical contract as ``use_planner``; the reactive
+    path stays armed behind the forecast either way."""
+    forecast_horizon: int = 2
+    """Intervals ahead the forecaster projects (and the window within which
+    a predicted violation must materialise to count as a hit)."""
+    forecast_seed: int = 0
+    """Seed for planner searches fired by the forecaster (and stamped on
+    every forecast record)."""
+    forecast_margin: float = 1.0
+    """Predicted latency must exceed ``forecast_margin * sla_latency``
+    before the act-ahead policy may fire (below 1.0 = act earlier)."""
     diagnosis: DiagnosisConfig = field(default_factory=DiagnosisConfig)
 
     def __post_init__(self) -> None:
@@ -76,6 +91,10 @@ class ControllerConfig:
             raise ValueError("scale-down patience must be at least 1")
         if not 0 < self.mrc_sampling_rate <= 1:
             raise ValueError("MRC sampling rate must be in (0, 1]")
+        if self.forecast_horizon < 1:
+            raise ValueError("forecast horizon must be at least 1")
+        if self.forecast_margin <= 0:
+            raise ValueError("forecast margin must be positive")
 
 
 @dataclass
@@ -113,6 +132,7 @@ class ClusterController:
         self.reports: list[AppIntervalReport] = []
         self.diagnoses: list[Diagnosis] = []
         self.plans: list = []  # CapacityPlans, when use_planner is on
+        self.forecaster = None  # ForecastEngine, when use_forecast is on
         self._interval_index = 0
         # Recovery hooks, installed by the ControlPlaneSupervisor when the
         # harness enables recovery.  Both None by default: the classic
@@ -220,6 +240,9 @@ class ClusterController:
             for manager in self._decision_managers.values():
                 manager.close_interval(length, sla_met, timestamp)
 
+            if self.config.use_forecast:
+                self._observe_forecasts(app_metrics, sla_met)
+
             reports: list[AppIntervalReport] = []
             for app in sorted(self.schedulers):
                 metrics = app_metrics[app]
@@ -233,13 +256,20 @@ class ClusterController:
                 )
                 if sla_met[app]:
                     self._violation_streak[app] = 0
+                    if self.config.use_forecast:
+                        report.actions = self._forecast_react(app, timestamp)
                     if self.config.scale_down:
                         self._maybe_scale_down(app, timestamp)
                 elif metrics.queries > 0:
                     self._violation_streak[app] = (
                         self._violation_streak.get(app, 0) + 1
                     )
-                    report.actions = self._react(app, timestamp)
+                    if self.config.use_forecast:
+                        report.actions = self._forecast_react(
+                            app, timestamp, violating=True
+                        )
+                    else:
+                        report.actions = self._react(app, timestamp)
                 for action in report.actions:
                     registry.counter(
                         "controller.actions", app=app, kind=action.kind.value
@@ -435,6 +465,210 @@ class ClusterController:
             self._last_action_interval[app] = self._interval_index
             self._fine_action_tried[app] = True
         return actions
+
+    # ------------------------------------------------------------------ #
+    # Predictive reaction (ControllerConfig.use_forecast)                #
+    # ------------------------------------------------------------------ #
+
+    def _observe_forecasts(
+        self,
+        app_metrics: dict[str, AppIntervalMetrics],
+        sla_met: dict[str, bool],
+    ) -> None:
+        """Feed the closed interval to the forecast engine.
+
+        Called once per interval, before the report loop, so the engine's
+        forecasts already include this interval's measurements when
+        :meth:`_forecast_react` consults them.  Also resolves any act-ahead
+        predictions whose windows this interval closes.
+        """
+        # Lazy for the same reason as the planner: forecast depends on the
+        # planner's model, and the default path never needs either.
+        from ..forecast import (
+            AppObservation,
+            ClassObservation,
+            ForecastConfig,
+            ForecastEngine,
+            PolicyConfig,
+        )
+        from .metrics import Metric
+
+        if self.forecaster is None:
+            self.forecaster = ForecastEngine(
+                ForecastConfig(
+                    horizon=self.config.forecast_horizon,
+                    seed=self.config.forecast_seed,
+                ),
+                PolicyConfig(margin=self.config.forecast_margin),
+            )
+        apps = [
+            AppObservation(
+                app=app,
+                mean_latency=app_metrics[app].mean_latency,
+                throughput=app_metrics[app].throughput,
+                sla_latency=self.schedulers[app].sla_latency,
+                violated=not sla_met[app],
+            )
+            for app in sorted(app_metrics)
+        ]
+        # Cluster-wide per-class counters: one class may span engines, so
+        # sum its accesses/misses/readaheads/throughput across analyzers.
+        sums: dict[str, list[float]] = {}
+        for analyzer in self.analyzers():
+            for key, vector in analyzer.effective_vectors().items():
+                total = sums.setdefault(key, [0.0, 0.0, 0.0, 0.0])
+                total[0] += vector.get(Metric.PAGE_ACCESSES)
+                total[1] += vector.get(Metric.MISSES)
+                total[2] += vector.get(Metric.READAHEADS)
+                total[3] += vector.get(Metric.THROUGHPUT)
+        classes = []
+        for key in sorted(sums):
+            accesses, misses, readaheads, throughput = sums[key]
+            # Same semantics as the what-if validator: readaheads are
+            # demand I/O the pool failed to absorb.
+            ratio = (misses + readaheads) / accesses if accesses > 0 else 0.0
+            classes.append(
+                ClassObservation(
+                    context_key=key,
+                    miss_ratio=min(ratio, 1.0),
+                    pressure=accesses,
+                    arrival_rate=throughput,
+                )
+            )
+        with self.obs.tracer.span(
+            "forecast.tick",
+            attrs={"interval": self._interval_index, "classes": len(classes)},
+        ):
+            self.forecaster.observe_interval(
+                self._interval_index, apps, classes
+            )
+        registry = self.obs.registry
+        if registry.enabled:
+            for app, forecast in self.forecaster.app_forecasts().items():
+                registry.gauge("forecast.predicted_latency", app=app).set(
+                    forecast.mean_latency
+                )
+                registry.gauge("forecast.confidence", app=app).set(
+                    forecast.confidence
+                )
+            registry.gauge("forecast.budget_remaining").set(
+                self.forecaster.policy.budget
+            )
+
+    def _forecast_react(
+        self, app: str, timestamp: float, violating: bool = False
+    ) -> list[Action]:
+        """Act ahead of a *predicted* violation.
+
+        Two cases share the same forecast/policy/planner machinery:
+
+        * ``violating=False`` — the app currently meets its SLA but the
+          forecast says it won't for long: fire the planner against the
+          predicted snapshot so the fix lands before the breach.
+        * ``violating=True`` — the app is already violating and the
+          forecast says the violation *persists* beyond the horizon: skip
+          the reactive path's fine-grained patience ladder and go straight
+          to the capacity planner, sparing the intervals the ladder would
+          have burned.  When the forecast is cold, low-confidence, or
+          predicts recovery, this falls back to the classic reactive path
+          unchanged (the confidence/fallback contract).
+
+        Reuses the reactive path's guards — startup grace, post-action
+        grace, quarantined evidence — before the forecast is even
+        consulted, so predictive action can never thrash where reactive
+        action would have held back.  A grace-skipped interval emits no
+        forecast record: nothing was predicted on.
+        """
+
+        def fallback() -> list[Action]:
+            return self._react(app, timestamp) if violating else []
+
+        if self.forecaster is None:
+            return fallback()
+        if self._interval_index < self.config.startup_grace_intervals:
+            return fallback()
+        last_action = self._last_action_interval.get(app)
+        if (
+            last_action is not None
+            and self._interval_index - last_action
+            <= self.config.action_grace_intervals
+        ):
+            return fallback()
+        if self._degraded_evidence(app) is not None:
+            return fallback()
+        if self.schedulers[app].health.any_down:
+            # Mid-failover the topology the forecaster learned no longer
+            # exists; planning against it only thrashes the survivors.
+            # Hold predictive fire until the cluster is whole again.
+            return fallback()
+        decision, forecast = self.forecaster.consider(
+            app, self._interval_index
+        )
+        if not decision.act or forecast is None:
+            return fallback()
+        from ..forecast import predicted_snapshot
+        from ..planner import PlannerConfig, build_snapshot, search_plan
+
+        registry = self.obs.registry
+        with self.obs.tracer.span(
+            "forecast.plan",
+            attrs={"app": app, "horizon": forecast.horizon},
+        ) as span:
+            snapshot = build_snapshot(self, app=app, obs=self.obs)
+            predicted = predicted_snapshot(
+                snapshot,
+                forecast.horizon,
+                self.forecaster.app_forecasts(),
+                self.forecaster.class_forecasts(),
+            )
+            plan = search_plan(
+                predicted,
+                PlannerConfig(seed=self.config.forecast_seed),
+                obs=self.obs,
+            )
+            span.set_attr("steps", len(plan.steps))
+        self.plans.append(plan)
+        if registry.enabled:
+            registry.counter("forecast.plans", app=app).inc()
+        if plan.empty:
+            # No fine-grained move improves the predicted snapshot, but the
+            # violation forecast stands: scale out ahead of the breach (the
+            # PerfEnforce move).  The predicted latency comes from the whole
+            # app, not one class, so added capacity is the remaining lever.
+            action = Action(
+                kind=ActionKind.PROVISION_REPLICA,
+                app=app,
+                reason=(
+                    f"forecast: predicted latency "
+                    f"{decision.predicted_latency:.3f} > threshold "
+                    f"{decision.threshold:.3f}, no fine-grained move"
+                ),
+            )
+            with self.obs.tracer.span(
+                "actions.apply",
+                attrs={"app": app, "kinds": action.kind.value},
+            ) as span:
+                applied = self._apply(action, timestamp)
+                span.set_attr("applied", int(applied))
+                span.add_cost(1)
+            if not applied:
+                # Server pool exhausted: nothing we can do ahead of time.
+                self.forecaster.note_empty_plan(app, self._interval_index)
+                return fallback()
+            self._last_action_interval[app] = self._interval_index
+            self.forecaster.note_scale_out()
+            return [action]
+        actions = self.apply_plan(plan, timestamp)
+        if actions:
+            self._last_action_interval[app] = self._interval_index
+            self._fine_action_tried[app] = True
+            self.forecaster.note_plan_applied()
+            return actions
+        # Every step no-opped at apply time (quota within the thrash
+        # guard, class already placed): nothing changed, so treat it
+        # like an empty plan and refund the act-ahead token.
+        self.forecaster.note_empty_plan(app, self._interval_index)
+        return fallback()
 
     def apply_plan(self, plan, timestamp: float) -> list[Action]:
         """Actuate a :class:`~repro.planner.plan.CapacityPlan`.

@@ -57,18 +57,22 @@ class MetricVector:
     def ratio_to(self, stable: "MetricVector") -> dict[Metric, float]:
         """Current value divided by the stable-state value, per metric.
 
-        A stable value of zero with a non-zero current value is an unbounded
-        increase; we cap it at a large constant so downstream arithmetic
-        stays finite while the point still lands far outside any fence.
+        A stable value of zero gets one Laplace pseudo-count: the ratio
+        becomes ``(current + 1) / (0 + 1)``, so the inflation scales with
+        the absolute change instead of a flat cap.  A class whose misses
+        drift 0 -> 3 reads 4.0 — inside any reasonable fence — while a
+        genuine surge 0 -> 20 000 still lands far outside every fence,
+        which is what kills the collateral IQR flags on classes with
+        near-zero stable misses.  Non-zero stable values keep the exact
+        ``current / base`` ratio.
         """
-        unbounded = 1e6
         ratios: dict[Metric, float] = {}
         for metric, current in self.values.items():
             base = stable.get(metric)
             if base > 0:
                 ratios[metric] = current / base
             elif current > 0:
-                ratios[metric] = unbounded
+                ratios[metric] = current + 1.0  # Laplace: (current+1)/(0+1)
             else:
                 ratios[metric] = 1.0  # 0/0: unchanged
         return ratios

@@ -1,6 +1,6 @@
 """Benchmark scenario registry and baseline harness.
 
-Twenty-one named scenarios — mirroring the ``benchmarks/`` pytest suite —
+Twenty-two named scenarios — mirroring the ``benchmarks/`` pytest suite —
 each a module-level zero-argument function returning the scenario's
 **artefact metrics** as plain JSON types: the deterministic numbers the
 corresponding benchmark asserts on (latencies, quotas, feasibility flags),
@@ -335,6 +335,12 @@ def bench_zoo_noisy_neighbour() -> dict:
     return _bench_zoo("noisy_neighbour")
 
 
+def bench_forecast_eval() -> dict:
+    from .forecast_eval import forecast_eval_artefact, run_forecast_eval
+
+    return forecast_eval_artefact(run_forecast_eval())
+
+
 BENCH_SCENARIOS = {
     "fig3_cpu_saturation": bench_fig3_cpu_saturation,
     "fig4_index_drop": bench_fig4_index_drop,
@@ -357,6 +363,7 @@ BENCH_SCENARIOS = {
     "zoo_olap_storm": bench_zoo_olap_storm,
     "zoo_write_burst": bench_zoo_write_burst,
     "zoo_noisy_neighbour": bench_zoo_noisy_neighbour,
+    "forecast_eval": bench_forecast_eval,
 }
 
 PYTEST_BENCH_ALIASES = {

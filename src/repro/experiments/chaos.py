@@ -83,6 +83,9 @@ class ChaosResult:
     final_latency: float = 0.0
     faults_injected: dict[str, int] = field(default_factory=dict)
     unmatched_faults: int = 0
+    forecaster: object | None = None
+    """The controller's :class:`~repro.forecast.ForecastEngine` when the
+    run used ``use_forecast``; ``None`` on classic runs."""
 
     def sla_met_at_end(self) -> bool:
         return bool(self.sla_series) and self.sla_series[-1]
@@ -115,8 +118,16 @@ def build_chaos_plan(config: ChaosConfig, app: str) -> FaultPlan:
     )
 
 
-def run_chaos(config: ChaosConfig | None = None) -> ChaosResult:
-    """Run the chaos scenario and collect the degradation artefacts."""
+def run_chaos(
+    config: ChaosConfig | None = None,
+    controller_config=None,
+) -> ChaosResult:
+    """Run the chaos scenario and collect the degradation artefacts.
+
+    ``controller_config`` overrides the harness's stock controller
+    configuration (the forecast eval passes ``use_forecast=True`` here to
+    compare predictive against reactive enforcement under failover).
+    """
     config = config if config is not None else ChaosConfig()
     workload = build_tpcw(seed=config.seed)
     scale_cpu_costs(workload, CPU_SCALE)
@@ -127,6 +138,7 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosResult:
         sla_latency=config.sla_latency,
         server_spec=ServerSpec(cores=2),
         cost_model=EXPERIMENT_COST_MODEL,
+        config=controller_config,
     )
     scheduler = harness.scheduler(workload.app)
     # Asynchronous replication so the propagation stream (and its stall and
@@ -202,6 +214,7 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosResult:
     ) / max(len(result.latency_series[-3:]), 1)
     result.faults_injected = injector.applied_kinds()
     result.unmatched_faults = len(injector.unmatched)
+    result.forecaster = harness.controller.forecaster
     return result
 
 

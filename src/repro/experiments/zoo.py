@@ -36,15 +36,21 @@ class ZooRunResult:
     actions: list[tuple[int, str, str]] = field(default_factory=list)
     latency_series: dict[str, list[float]] = field(default_factory=dict)
     sla_series: dict[str, list[bool]] = field(default_factory=dict)
+    forecaster: object | None = None
+    """The controller's :class:`~repro.forecast.ForecastEngine` when the
+    run used ``use_forecast``; ``None`` on classic runs."""
 
     def violations(self, app: str) -> int:
         return sum(1 for met in self.sla_series.get(app, []) if not met)
 
 
 def _build_harness(
-    scenario: ZooScenario, obs: Observability | None
+    scenario: ZooScenario,
+    obs: Observability | None,
+    config: ControllerConfig | None = None,
 ) -> ClusterHarness:
-    config = ControllerConfig(fallback_patience=scenario.fallback_patience)
+    if config is None:
+        config = ControllerConfig(fallback_patience=scenario.fallback_patience)
     spec = ServerSpec(cores=scenario.cores)
     if scenario.shared_engine:
         return ClusterHarness.shared_engine(
@@ -97,13 +103,19 @@ def run_zoo(
     seed: int = 7,
     obs: Observability | None = None,
     tolerance: int = 2,
+    config: ControllerConfig | None = None,
 ) -> ZooRunResult:
-    """Run one zoo scenario end to end and score its detections."""
+    """Run one zoo scenario end to end and score its detections.
+
+    ``config`` overrides the scenario's stock controller configuration —
+    the forecast eval uses it to run the same scenario reactively and
+    predictively (``use_forecast=True``) and diff the SLA timelines.
+    """
     if isinstance(scenario, str):
         scenario = build_zoo_scenario(scenario, seed=seed)
     for workload in scenario.workloads:
         scale_cpu_costs(workload, CPU_SCALE)
-    harness = _build_harness(scenario, obs)
+    harness = _build_harness(scenario, obs, config)
     for index, hook in scenario.hooks:
         harness.at_interval(index, hook)
 
@@ -138,6 +150,7 @@ def run_zoo(
         actions=actions,
         latency_series=latency,
         sla_series=sla,
+        forecaster=controller.forecaster,
     )
 
 

@@ -1,0 +1,58 @@
+"""Predictive SLA enforcement: forecast load, act before the violation.
+
+The reactive controller (ICDE'07) waits for an SLA violation, diagnoses
+the outlier, and retunes — the violation has already been served to
+users.  This package closes that gap with a PerfEnforce-style predictive
+loop: per-class and per-app Holt linear-trend forecasters learn the
+latency/pressure dynamics online, project a :class:`ClusterSnapshot`
+``horizon`` intervals ahead, and feed it to the *existing* capacity
+planner so the cluster is re-tuned before the predicted violation lands.
+An act-ahead policy (confidence gate, hysteresis, cooldown, refundable
+false-positive budget) keeps a noisy forecaster from thrashing the
+cluster, and every decision is recorded and later resolved against
+reality so the eval can score hits, false alarms, and SLA-violation
+intervals avoided versus the reactive baseline.
+
+Everything is opt-in behind ``ControllerConfig.use_forecast``; with the
+flag off, no forecast code runs and every artefact stays byte-identical.
+"""
+
+from .engine import AppObservation, ClassObservation, ForecastEngine
+from .model import (
+    AppForecast,
+    AppForecaster,
+    ClassForecast,
+    ClassForecaster,
+    ForecastConfig,
+    HoltSeries,
+)
+from .policy import ActAheadPolicy, Decision, PolicyConfig
+from .predictor import predicted_snapshot
+from .score import (
+    ForecastRecord,
+    ForecastScore,
+    resolve_records,
+    score_forecasts,
+    validation_summary,
+)
+
+__all__ = [
+    "ActAheadPolicy",
+    "AppForecast",
+    "AppForecaster",
+    "AppObservation",
+    "ClassForecast",
+    "ClassForecaster",
+    "ClassObservation",
+    "Decision",
+    "ForecastConfig",
+    "ForecastEngine",
+    "ForecastRecord",
+    "ForecastScore",
+    "HoltSeries",
+    "PolicyConfig",
+    "predicted_snapshot",
+    "resolve_records",
+    "score_forecasts",
+    "validation_summary",
+]

@@ -1,0 +1,221 @@
+"""Online per-class forecasters: Holt linear trend with confidence.
+
+The reactive controller waits for an SLA violation before it diagnoses;
+this module supplies the *looking-ahead* half of predictive enforcement.
+Each tracked series (application mean latency and throughput, per-class
+miss ratio, page pressure and arrival rate) feeds a :class:`HoltSeries` —
+Holt's linear-trend double exponential smoothing, the same family
+PerfEnforce uses for its performance-guarantee scaling — which yields a
+horizon-``h`` extrapolation plus a **confidence** derived from its own
+recent one-step-ahead error.  Everything is deterministic: the smoothing
+recurrences contain no randomness, so the same observation sequence always
+produces the same forecasts (the property suite pins exactly that), and
+the configured ``seed`` is carried through to the planner search fired on
+predicted snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ForecastConfig",
+    "HoltSeries",
+    "ClassForecast",
+    "AppForecast",
+    "ClassForecaster",
+    "AppForecaster",
+]
+
+
+@dataclass(frozen=True)
+class ForecastConfig:
+    """Tunables of the forecasting model (policy tunables live in
+    :class:`repro.forecast.policy.PolicyConfig`)."""
+
+    horizon: int = 2
+    """Intervals ahead every forecast projects (``h`` in Holt's
+    ``level + h * trend``)."""
+    alpha: float = 0.5
+    """Level smoothing factor: weight of the newest observation."""
+    beta: float = 0.3
+    """Trend smoothing factor: weight of the newest level delta."""
+    error_alpha: float = 0.3
+    """Smoothing factor of the one-step-ahead absolute-error EWMA that
+    backs the confidence estimate."""
+    min_observations: int = 3
+    """Observations before a series reports non-zero confidence — one
+    point fixes the level, a second the trend, a third the first real
+    one-step error."""
+    seed: int = 0
+    """Recorded in every forecast record and used to seed the planner
+    search fired on predicted snapshots; the smoothing itself is
+    deterministic and consumes no randomness."""
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ValueError("forecast horizon must be at least 1")
+        for name in ("alpha", "beta", "error_alpha"):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if self.min_observations < 1:
+            raise ValueError("min observations must be at least 1")
+
+
+@dataclass
+class HoltSeries:
+    """One scalar series under Holt linear-trend smoothing.
+
+    ``forecast(0)`` returns the last raw observation — horizon zero means
+    *now*, and the predicted snapshot at horizon zero must equal the
+    current one byte for byte — while ``forecast(h >= 1)`` extrapolates
+    ``level + h * trend``, floored at zero (latencies, miss ratios and
+    pressures cannot go negative).
+    """
+
+    alpha: float = 0.5
+    beta: float = 0.3
+    error_alpha: float = 0.3
+    level: float | None = None
+    trend: float = 0.0
+    last: float = 0.0
+    observations: int = 0
+    abs_error: float = 0.0
+    """EWMA of the one-step-ahead absolute prediction error."""
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self.level is None:
+            self.level = value
+        else:
+            predicted = self.level + self.trend
+            error = abs(value - predicted)
+            self.abs_error = (
+                self.error_alpha * error
+                + (1.0 - self.error_alpha) * self.abs_error
+            )
+            new_level = self.alpha * value + (1.0 - self.alpha) * predicted
+            self.trend = (
+                self.beta * (new_level - self.level)
+                + (1.0 - self.beta) * self.trend
+            )
+            self.level = new_level
+        self.last = value
+        self.observations += 1
+
+    def forecast(self, horizon: int) -> float:
+        if horizon < 0:
+            raise ValueError(f"horizon must be non-negative: {horizon}")
+        if horizon == 0:
+            return self.last
+        if self.level is None:
+            return 0.0
+        return max(self.level + horizon * self.trend, 0.0)
+
+    def confidence(self, min_observations: int = 3) -> float:
+        """``1 / (1 + relative one-step error)`` once the series has seen
+        enough points; 0.0 before that (the policy then falls back to the
+        reactive path instead of acting on a cold forecaster)."""
+        if self.observations < min_observations or self.level is None:
+            return 0.0
+        scale = max(abs(self.level), 1e-9)
+        return 1.0 / (1.0 + self.abs_error / scale)
+
+
+@dataclass(frozen=True)
+class ClassForecast:
+    """One query class's projected state at ``horizon`` intervals ahead."""
+
+    context_key: str
+    horizon: int
+    miss_ratio: float
+    pressure: float
+    arrival_rate: float
+    confidence: float
+
+
+@dataclass(frozen=True)
+class AppForecast:
+    """One application's projected SLA standing at ``horizon`` ahead."""
+
+    app: str
+    horizon: int
+    mean_latency: float
+    throughput: float
+    confidence: float
+
+
+def _series(config: ForecastConfig) -> HoltSeries:
+    return HoltSeries(
+        alpha=config.alpha, beta=config.beta, error_alpha=config.error_alpha
+    )
+
+
+@dataclass
+class ClassForecaster:
+    """Per-class dynamics: miss ratio, page pressure, arrival rate."""
+
+    context_key: str
+    config: ForecastConfig = field(default_factory=ForecastConfig)
+    miss_ratio: HoltSeries = field(init=False)
+    pressure: HoltSeries = field(init=False)
+    arrival_rate: HoltSeries = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.miss_ratio = _series(self.config)
+        self.pressure = _series(self.config)
+        self.arrival_rate = _series(self.config)
+
+    def observe(
+        self, miss_ratio: float, pressure: float, arrival_rate: float
+    ) -> None:
+        self.miss_ratio.observe(miss_ratio)
+        self.pressure.observe(pressure)
+        self.arrival_rate.observe(arrival_rate)
+
+    def forecast(self, horizon: int | None = None) -> ClassForecast:
+        h = self.config.horizon if horizon is None else horizon
+        n = self.config.min_observations
+        confidence = min(
+            self.miss_ratio.confidence(n),
+            self.pressure.confidence(n),
+            self.arrival_rate.confidence(n),
+        )
+        return ClassForecast(
+            context_key=self.context_key,
+            horizon=h,
+            miss_ratio=min(self.miss_ratio.forecast(h), 1.0),
+            pressure=self.pressure.forecast(h),
+            arrival_rate=self.arrival_rate.forecast(h),
+            confidence=confidence,
+        )
+
+
+@dataclass
+class AppForecaster:
+    """Per-application SLA dynamics: mean latency and throughput."""
+
+    app: str
+    config: ForecastConfig = field(default_factory=ForecastConfig)
+    latency: HoltSeries = field(init=False)
+    throughput: HoltSeries = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.latency = _series(self.config)
+        self.throughput = _series(self.config)
+
+    def observe(self, mean_latency: float, throughput: float) -> None:
+        self.latency.observe(mean_latency)
+        self.throughput.observe(throughput)
+
+    def forecast(self, horizon: int | None = None) -> AppForecast:
+        h = self.config.horizon if horizon is None else horizon
+        n = self.config.min_observations
+        return AppForecast(
+            app=self.app,
+            horizon=h,
+            mean_latency=self.latency.forecast(h),
+            throughput=self.throughput.forecast(h),
+            confidence=self.latency.confidence(n),
+        )

@@ -1,0 +1,204 @@
+"""Act-ahead policy: when a forecast is allowed to fire the planner.
+
+A forecast of trouble is cheap; a planner action is not (every pool
+rebuild restarts cold).  The policy therefore gates predicted violations
+through four filters before the controller may act ahead of time:
+
+* **confidence** — a cold or erratic forecaster (confidence below
+  ``min_confidence``) never fires; the app simply stays on the reactive
+  path, which is always still armed behind the forecast;
+* **hysteresis** — ``confirm_intervals`` *consecutive* predicted
+  violations are required, so a single noisy extrapolation cannot thrash
+  the cluster;
+* **cooldown** — after acting, the policy sits out ``cooldown_intervals``
+  (mirroring the controller's action grace) so the action's effect is
+  measurable before the next one;
+* **false-positive budget** — every act-ahead spends one token; a real
+  violation arriving within the prediction's horizon *refunds* it (the
+  alarm was justified), while a prediction whose window closes violation
+  free forfeits the token.  An exhausted budget suspends predictive
+  action entirely — the controller degrades to purely reactive — until a
+  genuine violation proves the forecaster right again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PolicyConfig", "Decision", "ActAheadPolicy"]
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Act-ahead tunables."""
+
+    confirm_intervals: int = 1
+    """Consecutive predicted violations required before acting."""
+    min_confidence: float = 0.4
+    """Forecast confidence below which the policy defers to the reactive
+    path."""
+    margin: float = 1.0
+    """Predicted latency must exceed ``margin * sla_latency`` to count as
+    a predicted violation (below 1.0 = act earlier, above = later)."""
+    false_positive_budget: int = 3
+    """Act-ahead tokens; refunded when the predicted violation was real."""
+    cooldown_intervals: int = 2
+    """Intervals to sit out after an act-ahead action."""
+
+    def __post_init__(self) -> None:
+        if self.confirm_intervals < 1:
+            raise ValueError("confirm intervals must be at least 1")
+        if not 0 <= self.min_confidence <= 1:
+            raise ValueError("min confidence must be in [0, 1]")
+        if self.margin <= 0:
+            raise ValueError("margin must be positive")
+        if self.false_positive_budget < 1:
+            raise ValueError("false-positive budget must be at least 1")
+        if self.cooldown_intervals < 0:
+            raise ValueError("cooldown must be non-negative")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One per-app, per-interval verdict of the act-ahead policy."""
+
+    app: str
+    interval: int
+    act: bool
+    reason: str
+    """``act`` | ``no-violation`` | ``low-confidence`` | ``hysteresis`` |
+    ``cooldown`` | ``budget-exhausted``"""
+    predicted_latency: float = 0.0
+    threshold: float = 0.0
+    confidence: float = 0.0
+
+
+@dataclass
+class _AppState:
+    streak: int = 0
+    last_act: int | None = None
+    pending: list[tuple[int, int]] = field(default_factory=list)
+    """(fired_interval, resolve_deadline) of unresolved act-aheads."""
+    hits: int = 0
+    false_positives: int = 0
+
+
+class ActAheadPolicy:
+    """Stateful act-ahead gating, one :class:`_AppState` per application."""
+
+    def __init__(self, config: PolicyConfig | None = None) -> None:
+        self.config = config if config is not None else PolicyConfig()
+        self.budget = self.config.false_positive_budget
+        self._apps: dict[str, _AppState] = {}
+
+    def _state(self, app: str) -> _AppState:
+        return self._apps.setdefault(app, _AppState())
+
+    # ------------------------------------------------------------------ #
+    # Deciding                                                           #
+    # ------------------------------------------------------------------ #
+
+    def decide(
+        self,
+        app: str,
+        interval: int,
+        horizon: int,
+        predicted_latency: float,
+        sla_latency: float,
+        confidence: float,
+    ) -> Decision:
+        """Gate one forecast; ``act=True`` means fire the planner now."""
+        state = self._state(app)
+        threshold = self.config.margin * sla_latency
+        base = dict(
+            app=app,
+            interval=interval,
+            predicted_latency=predicted_latency,
+            threshold=threshold,
+            confidence=confidence,
+        )
+        if predicted_latency <= threshold:
+            state.streak = 0
+            return Decision(act=False, reason="no-violation", **base)
+        if confidence < self.config.min_confidence:
+            # A cold forecaster neither acts nor accumulates hysteresis
+            # credit: confidence must be earned first.
+            state.streak = 0
+            return Decision(act=False, reason="low-confidence", **base)
+        state.streak += 1
+        if state.streak < self.config.confirm_intervals:
+            return Decision(act=False, reason="hysteresis", **base)
+        if (
+            state.last_act is not None
+            and interval - state.last_act <= self.config.cooldown_intervals
+        ):
+            return Decision(act=False, reason="cooldown", **base)
+        if self.budget <= 0:
+            return Decision(act=False, reason="budget-exhausted", **base)
+        self.budget -= 1
+        state.last_act = interval
+        state.pending.append((interval, interval + horizon))
+        return Decision(act=True, reason="act", **base)
+
+    def refund(self, app: str, interval: int) -> None:
+        """Return the token of an act that applied nothing (empty plan):
+        no cluster change happened, so nothing was risked."""
+        state = self._state(app)
+        state.pending = [
+            (fired, deadline)
+            for fired, deadline in state.pending
+            if fired != interval
+        ]
+        if state.last_act == interval:
+            state.last_act = None
+        self._credit()
+
+    # ------------------------------------------------------------------ #
+    # Resolving                                                          #
+    # ------------------------------------------------------------------ #
+
+    def resolve(self, app: str, interval: int, violated: bool) -> list[str]:
+        """Feed the actual SLA outcome of ``interval``; returns the
+        outcome (``hit``/``false_alarm``) of every act-ahead resolved by
+        it, in firing order."""
+        state = self._state(app)
+        outcomes: list[str] = []
+        remaining: list[tuple[int, int]] = []
+        for fired, deadline in state.pending:
+            if violated and fired < interval <= deadline:
+                # The predicted violation materialised in-window (despite
+                # the action, or before it warmed up): the alarm was
+                # justified — refund the token.
+                state.hits += 1
+                self._credit()
+                outcomes.append("hit")
+            elif interval >= deadline:
+                # Window closed violation-free.  Either a false alarm or a
+                # successfully averted violation; the policy cannot tell
+                # them apart online, so it forfeits the token — the eval's
+                # reactive-baseline comparison settles which it was.
+                state.false_positives += 1
+                outcomes.append("false_alarm")
+            else:
+                remaining.append((fired, deadline))
+        state.pending = remaining
+        return outcomes
+
+    def _credit(self) -> None:
+        self.budget = min(
+            self.budget + 1, self.config.false_positive_budget
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reporting                                                          #
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        return {
+            "budget_remaining": self.budget,
+            "hits": sum(s.hits for s in self._apps.values()),
+            "false_positives": sum(
+                s.false_positives for s in self._apps.values()
+            ),
+            "pending": sum(len(s.pending) for s in self._apps.values()),
+        }

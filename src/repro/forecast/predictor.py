@@ -1,0 +1,88 @@
+"""Assemble a horizon-``h`` predicted :class:`ClusterSnapshot`.
+
+The planner plans against pure data, so predicting the future is a matter
+of projecting that data forward: take the snapshot :func:`build_snapshot`
+assembled from the live cluster and replace every forecasted quantity with
+its horizon-``h`` extrapolation — per-class page pressure (the weight the
+planner's score puts on each class's miss-ratio excess) and per-app mean
+latency / throughput / SLA standing.  Everything else (placements, quotas,
+curves, topology) is carried over unchanged: the forecast predicts *load*,
+not *structure*.
+
+Horizon zero is the identity: ``predicted_snapshot(s, ..., horizon=0)``
+returns ``s`` itself, byte for byte — the property suite pins this, and it
+is what makes the predictive path degrade gracefully into the reactive one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..planner.model import AppState, ClassState, ClusterSnapshot
+from .model import AppForecast, ClassForecast
+
+__all__ = ["predicted_snapshot"]
+
+
+def _project_class(state: ClassState, forecast: ClassForecast) -> ClassState:
+    pressure = max(forecast.pressure, 0.0)
+    if pressure == state.pressure:
+        return state
+    return replace(state, pressure=pressure)
+
+
+def _project_app(state: AppState, forecast: AppForecast) -> AppState:
+    latency = max(forecast.mean_latency, 0.0)
+    violating = latency > state.sla_latency
+    streak = state.violation_streak
+    if violating:
+        # The projected standing the planner would see had it waited: at
+        # least one more violated interval on top of any current streak.
+        streak = max(streak + forecast.horizon, 1)
+    return replace(
+        state,
+        mean_latency=latency,
+        throughput=max(forecast.throughput, 0.0),
+        sla_met=not violating,
+        violation_streak=streak if violating else state.violation_streak,
+    )
+
+
+def predicted_snapshot(
+    snapshot: ClusterSnapshot,
+    horizon: int,
+    app_forecasts: dict[str, AppForecast] | None = None,
+    class_forecasts: dict[str, ClassForecast] | None = None,
+) -> ClusterSnapshot:
+    """Project ``snapshot`` forward by ``horizon`` intervals.
+
+    ``app_forecasts`` / ``class_forecasts`` map app names and context keys
+    to their forecasts; unforecasted entries are carried over unchanged
+    (a class the forecaster has never observed keeps its last measured
+    pressure).  ``horizon=0`` returns ``snapshot`` itself.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative: {horizon}")
+    if horizon == 0:
+        return snapshot
+    app_forecasts = app_forecasts or {}
+    class_forecasts = class_forecasts or {}
+
+    apps = tuple(
+        _project_app(state, app_forecasts[state.app])
+        if state.app in app_forecasts
+        else state
+        for state in snapshot.apps
+    )
+    classes = tuple(
+        _project_class(state, class_forecasts[state.context_key])
+        if state.context_key in class_forecasts
+        else state
+        for state in snapshot.classes
+    )
+    return replace(
+        snapshot,
+        interval_index=snapshot.interval_index + horizon,
+        apps=apps,
+        classes=classes,
+    )

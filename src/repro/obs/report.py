@@ -49,6 +49,7 @@ class TelemetrySummary:
     metrics: list[dict] = field(default_factory=list)
     allocations: list[dict] = field(default_factory=list)
     quality: list[dict] = field(default_factory=list)
+    forecasts: list[dict] = field(default_factory=list)
 
     @classmethod
     def from_lines(cls, lines: Iterable[str]) -> "TelemetrySummary":
@@ -69,6 +70,8 @@ class TelemetrySummary:
                 summary.allocations.append(record)
             elif kind == "quality":
                 summary.quality.append(record)
+            elif kind == "forecast":
+                summary.forecasts.append(record)
             else:
                 raise ValueError(f"unknown telemetry record type: {kind!r}")
         return summary
@@ -141,7 +144,8 @@ class TelemetrySummary:
     def render(self) -> str:
         sections = [self._render_meta(), self._render_stages(),
                     self._render_mrc(), self._render_actions(),
-                    self._render_allocations(), self._render_quality()]
+                    self._render_allocations(), self._render_quality(),
+                    self._render_forecasts()]
         return "\n\n".join(section for section in sections if section)
 
     def _render_meta(self) -> str:
@@ -250,6 +254,39 @@ class TelemetrySummary:
                 str(record.get("false_negatives", "?")),
             )
         return table.render()
+
+
+    def _render_forecasts(self) -> str:
+        # Only rendered when forecast records are present (predictive-mode
+        # exports); telemetry goldens without them stay byte-identical.
+        if not self.forecasts:
+            return ""
+        table = Table(
+            title="Forecast decisions (predictive SLA enforcement)",
+            headers=["interval", "app", "predicted", "threshold",
+                     "confidence", "decision", "outcome"],
+        )
+        for record in self.forecasts:
+            table.add_row(
+                str(record.get("interval", "?")),
+                record.get("app", "?"),
+                f"{record.get('predicted_latency', 0.0):.3f}",
+                f"{record.get('threshold', 0.0):.3f}",
+                f"{record.get('confidence', 0.0):.2f}",
+                record.get("decision", "?"),
+                record.get("outcome", "?"),
+            )
+        acted = sum(1 for r in self.forecasts if r.get("acted"))
+        hits = sum(1 for r in self.forecasts if r.get("outcome") == "hit")
+        false_alarms = sum(
+            1 for r in self.forecasts if r.get("outcome") == "false_alarm"
+        )
+        rendered = table.render()
+        rendered += (
+            f"\n\nActed ahead {acted}× — {hits} hits, "
+            f"{false_alarms} false alarms"
+        )
+        return rendered
 
 
 def summarize_telemetry(lines: Iterable[str]) -> TelemetrySummary:

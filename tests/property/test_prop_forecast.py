@@ -1,0 +1,208 @@
+"""Property-based tests for the predictive-enforcement contracts.
+
+Three invariants ``repro.forecast`` must hold for *every* input, not just
+the committed eval configuration:
+
+* **determinism** — the smoothing recurrences contain no randomness, so
+  the same observation sequence always produces the same forecasts and
+  the same engine decision records;
+* **horizon zero is now** — ``HoltSeries.forecast(0)`` returns the last
+  raw observation and ``predicted_snapshot(s, 0, ...)`` returns ``s``
+  itself, whatever the forecasters believe: the predictive path degrades
+  exactly into the reactive one;
+* **off means off** — a controller with ``use_forecast=False`` (the
+  default) builds no forecast engine and emits telemetry byte-identical
+  to a run that never heard of forecasting, so every committed golden
+  and bench artefact is untouched by the wiring.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.forecast import (
+    AppForecast,
+    AppForecaster,
+    AppObservation,
+    ClassObservation,
+    ForecastConfig,
+    ForecastEngine,
+    HoltSeries,
+    predicted_snapshot,
+)
+
+def make_snapshot():
+    from repro.planner.model import (
+        AppState,
+        ClassState,
+        ClusterSnapshot,
+        PoolState,
+    )
+
+    return ClusterSnapshot(
+        interval_index=5,
+        interval_length=10.0,
+        apps=(
+            AppState(
+                app="tpcw",
+                sla_latency=0.45,
+                sla_met=True,
+                violation_streak=0,
+                mean_latency=0.2,
+                throughput=50.0,
+                replicas=("tpcw-0",),
+            ),
+        ),
+        pools=(
+            PoolState(
+                engine="engine-0",
+                server="server-0",
+                pool_pages=8192,
+                online=True,
+                quotas=(),
+                replicas=(("tpcw", "tpcw-0"),),
+                classes=("tpcw/best_seller",),
+            ),
+        ),
+        classes=(
+            ClassState(
+                context_key="tpcw/best_seller",
+                app="tpcw",
+                pool="engine-0",
+                placement=("tpcw-0",),
+                pressure=100.0,
+            ),
+        ),
+        idle_servers=(),
+        io_time_per_page=0.001,
+    )
+
+
+values = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+series_values = st.lists(values, min_size=1, max_size=40)
+horizons = st.integers(min_value=1, max_value=10)
+
+
+@given(sequence=series_values, horizon=horizons)
+@settings(max_examples=50, deadline=None)
+def test_same_observations_same_forecast(sequence, horizon):
+    """Two independent series fed identically agree on every output."""
+    first, second = HoltSeries(), HoltSeries()
+    for value in sequence:
+        first.observe(value)
+        second.observe(value)
+    assert first.forecast(horizon) == second.forecast(horizon)
+    assert first.confidence() == second.confidence()
+
+
+@given(sequence=series_values)
+@settings(max_examples=50, deadline=None)
+def test_horizon_zero_is_the_last_observation(sequence):
+    series = HoltSeries()
+    for value in sequence:
+        series.observe(value)
+    assert series.forecast(0) == sequence[-1]
+
+
+@given(sequence=series_values, horizon=horizons)
+@settings(max_examples=50, deadline=None)
+def test_forecasts_never_negative(sequence, horizon):
+    series = HoltSeries()
+    for value in sequence:
+        series.observe(value)
+    assert series.forecast(horizon) >= 0.0
+
+
+@given(
+    latencies=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=3,
+        max_size=25,
+    ),
+    horizon=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_engine_decision_records_are_deterministic(latencies, horizon):
+    """Identically-fed engines write identical decision records."""
+    engines = [
+        ForecastEngine(ForecastConfig(horizon=horizon)) for _ in range(2)
+    ]
+    for interval, latency in enumerate(latencies):
+        for engine in engines:
+            engine.observe_interval(
+                interval,
+                [
+                    AppObservation(
+                        app="tpcw",
+                        mean_latency=latency,
+                        throughput=40.0,
+                        sla_latency=1.0,
+                        violated=latency > 1.0,
+                    )
+                ],
+                [
+                    ClassObservation(
+                        context_key="tpcw/best_seller",
+                        miss_ratio=min(latency / 10.0, 1.0),
+                        pressure=100.0 + latency,
+                        arrival_rate=40.0,
+                    )
+                ],
+            )
+            engine.consider("tpcw", interval)
+    assert engines[0].records == engines[1].records
+    assert engines[0].app_forecasts() == engines[1].app_forecasts()
+    assert engines[0].class_forecasts() == engines[1].class_forecasts()
+
+
+@given(latency=values, throughput=values)
+@settings(max_examples=25, deadline=None)
+def test_horizon_zero_snapshot_is_the_identity(latency, throughput):
+    """Whatever the forecasters claim, horizon zero returns the snapshot
+    object itself — the predictive path collapses into the reactive one."""
+    snapshot = make_snapshot()
+    forecasts = {
+        "tpcw": AppForecast(
+            app="tpcw",
+            horizon=0,
+            mean_latency=latency,
+            throughput=throughput,
+            confidence=1.0,
+        )
+    }
+    assert predicted_snapshot(snapshot, 0, forecasts, None) is snapshot
+
+
+@given(sequence=series_values)
+@settings(max_examples=25, deadline=None)
+def test_app_forecaster_confidence_bounded(sequence):
+    forecaster = AppForecaster("tpcw")
+    for value in sequence:
+        forecaster.observe(value, value)
+    forecast = forecaster.forecast()
+    assert 0.0 <= forecast.confidence <= 1.0
+
+
+@given(seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=3, deadline=None)
+def test_forecast_off_telemetry_is_byte_identical(seed):
+    """``use_forecast=False`` is invisible: no engine is built and the
+    telemetry matches a run through the stock configuration, byte for
+    byte, for any seed — the wiring cannot disturb committed goldens."""
+    from repro.core.controller import ControllerConfig
+    from repro.experiments.zoo import run_zoo
+    from repro.obs import Observability, telemetry_lines
+
+    meta = {"scenario": "flash_crowd", "seed": seed}
+    obs_stock, obs_off = Observability(), Observability()
+    stock = run_zoo("flash_crowd", seed=seed, obs=obs_stock)
+    explicit = run_zoo(
+        "flash_crowd",
+        seed=seed,
+        obs=obs_off,
+        config=ControllerConfig(use_forecast=False),
+    )
+    assert stock.forecaster is None
+    assert explicit.forecaster is None
+    assert (telemetry_lines(obs_stock, meta=meta)
+            == telemetry_lines(obs_off, meta=meta))

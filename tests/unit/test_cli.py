@@ -27,6 +27,17 @@ class TestParser:
         args = build_parser().parse_args(["fig5", "--executions", "50"])
         assert args.executions == 50
 
+    def test_forecast_options_parse(self):
+        args = build_parser().parse_args(
+            ["forecast", "--horizon", "3", "--margin", "0.8",
+             "--export", "a.json", "--records", "r.jsonl"]
+        )
+        assert args.command == "forecast"
+        assert args.horizon == 3
+        assert args.margin == 0.8
+        assert args.export == "a.json"
+        assert args.records == "r.jsonl"
+
 
 class TestListCommand:
     def test_lists_artefacts(self, capsys):

@@ -59,16 +59,26 @@ class TestRatioTo:
         stable = self.vec(readaheads=0.0)
         assert current.ratio_to(stable)[Metric.READAHEADS] == 1.0
 
-    def test_positive_over_zero_is_capped_large(self):
+    def test_positive_over_zero_is_laplace_smoothed(self):
+        # (current + 1) / (0 + 1): inflation scales with the absolute
+        # change instead of the old flat 1e6 cap.
         current = self.vec(readaheads=50.0)
         stable = self.vec(readaheads=0.0)
         ratio = current.ratio_to(stable)[Metric.READAHEADS]
-        assert ratio == 1e6
+        assert ratio == 51.0
 
     def test_missing_stable_metric_treated_as_zero(self):
         current = self.vec(misses=5.0)
         stable = MetricVector("app/q", {})
-        assert current.ratio_to(stable)[Metric.MISSES] == 1e6
+        assert current.ratio_to(stable)[Metric.MISSES] == 6.0
+
+    def test_small_absolute_drift_from_zero_stays_near_one(self):
+        # The collateral-flag case the smoothing exists for: a class whose
+        # stable misses were 0 and current misses are 2 must not read as an
+        # unbounded increase.
+        current = self.vec(misses=2.0)
+        stable = self.vec(misses=0.0)
+        assert current.ratio_to(stable)[Metric.MISSES] == 3.0
 
     def test_get_defaults_to_zero(self):
         assert MetricVector("app/q", {}).get(Metric.LATENCY) == 0.0
